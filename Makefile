@@ -1,0 +1,27 @@
+# Developer entry points. Everything is pure Python; no build step.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples quicktest clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+quicktest:
+	$(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis examples/ht.pool
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,64 @@
+"""abl-epoch: group-commit (epoch length) sweep.
+
+Paper §3.2: persist() "works as a form of group commit"; calling it more
+often bounds undo-log growth but pays the snoop+drain cost more often.
+Sweeps persist-every-N and reports throughput, persist latency, and log
+high-water mark.
+"""
+
+from benchmarks.conftest import bench_backend
+from repro.analysis.report import Table
+from repro.workloads.keys import KeySequence
+
+OPS = 3000
+RECORDS = 8000
+GROUPS = (1, 8, 64, 512)
+
+
+def run_group(group_size):
+    backend = bench_backend("pax")
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        backend.put(load.next(), index)
+    backend.persist()
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = backend.now_ns
+    max_log = 0
+    persist_ns = []
+    for index in range(OPS):
+        backend.put(keys.next(), index)
+        max_log = max(max_log, backend.pool.undo_log_entries
+                      + backend.machine.device.undo.pending_count)
+        if (index + 1) % group_size == 0:
+            persist_ns.append(backend.persist())
+    if OPS % group_size:
+        persist_ns.append(backend.persist())
+    elapsed = backend.now_ns - start
+    return {
+        "ns_per_op": elapsed / OPS,
+        "mean_persist_ns": sum(persist_ns) / len(persist_ns),
+        "max_log_entries": max_log,
+        "persists": len(persist_ns),
+    }
+
+
+def run():
+    return {group: run_group(group) for group in GROUPS}
+
+
+def test_epoch_length_sweep(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-epoch: persist() every N ops",
+                  ["group size", "ns/op", "mean persist (ns)",
+                   "max log entries"])
+    for group in GROUPS:
+        row = results[group]
+        table.add_row(group, row["ns_per_op"], row["mean_persist_ns"],
+                      row["max_log_entries"])
+    table.show()
+    # Larger groups amortize persist cost into lower per-op time...
+    assert results[512]["ns_per_op"] < results[1]["ns_per_op"]
+    # ...at the price of more outstanding undo state.
+    assert results[512]["max_log_entries"] > results[1]["max_log_entries"]
+    # Per-persist cost grows with epoch size (more lines to snoop+flush).
+    assert results[512]["mean_persist_ns"] > results[1]["mean_persist_ns"]

@@ -1,0 +1,77 @@
+"""abl-hbm: device HBM cache size sensitivity.
+
+Paper §1/§5: load misses are "often served from an on-device HBM cache of
+PM"; §5 suggests HBM could push PAX toward DRAM-class performance. Sweeps
+the HBM capacity and reports read-path behaviour of a get()-only workload
+whose reuse pattern thrashes the small host caches.
+"""
+
+from repro.analysis.report import Table
+from repro.cache.cache import CacheConfig
+from repro.core.config import PaxConfig
+from repro.libpax.pool import PaxPool
+from repro.structures.hashmap import HashMap
+from repro.workloads.keys import KeySequence
+
+RECORDS = 6000
+OPS = 6000
+HBM_SIZES = (0, 1024, 8192, 65536)
+
+#: Host caches shrunk below the working set: the get() miss stream must
+#: actually reach the device for HBM capacity to be measurable.
+TINY_HOST_CACHES = dict(
+    l1_config=CacheConfig(size_bytes=4 * 1024, ways=4),
+    l2_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+    llc_config=CacheConfig(size_bytes=32 * 1024, ways=8),
+)
+
+
+def run_hbm(hbm_lines):
+    pool = PaxPool.map_pool(pool_size=16 * 1024 * 1024,
+                            log_size=4 * 1024 * 1024,
+                            pax_config=PaxConfig(hbm_lines=hbm_lines),
+                            **TINY_HOST_CACHES)
+    table = pool.persistent(HashMap, capacity=1 << 13)
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        table.put(load.next(), index)
+    pool.persist()
+    device = pool.machine.device
+    device.hbm.stats.reset()
+    device.stats.reset()
+    # Uniform keys: the device-visible miss stream spans the whole table,
+    # so HBM capacity (not just recency) is what is being measured.
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = pool.machine.now_ns
+    for _ in range(OPS):
+        table.get(keys.next())
+    elapsed = pool.machine.now_ns - start
+    hits = device.hbm.stats.get("hits")
+    misses = device.hbm.stats.get("misses")
+    return {
+        "ns_per_get": elapsed / OPS,
+        "hbm_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "pm_reads": device.stats.get("pm_line_reads"),
+    }
+
+
+def run():
+    return {size: run_hbm(size) for size in HBM_SIZES}
+
+
+def test_hbm_size_sweep(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-hbm: get() latency vs device HBM capacity",
+                  ["hbm lines", "ns/get", "hbm hit rate", "pm line reads"])
+    for size in HBM_SIZES:
+        row = results[size]
+        table.add_row(size, row["ns_per_get"],
+                      "%.1f%%" % (100 * row["hbm_hit_rate"]),
+                      row["pm_reads"])
+    table.show()
+    # A bigger HBM absorbs more device-side misses...
+    assert results[65536]["hbm_hit_rate"] > results[1024]["hbm_hit_rate"]
+    assert results[0]["hbm_hit_rate"] == 0.0
+    # ...which must show up as less PM traffic and faster gets.
+    assert results[65536]["pm_reads"] < results[0]["pm_reads"]
+    assert results[65536]["ns_per_get"] <= results[0]["ns_per_get"]

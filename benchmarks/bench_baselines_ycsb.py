@@ -1,0 +1,61 @@
+"""abl-ycsb: every backend across YCSB-style mixes (paper §5.1's plan).
+
+"Our plan is to compare these approaches in detail for a variety of
+applications" — this bench runs mixes C (read-only), B (read-mostly),
+A (update-heavy) and W (write-only) with zipfian keys over every backend
+and prints simulated throughput.
+"""
+
+from benchmarks.conftest import bench_backend
+from repro.analysis.report import Table
+from repro.workloads.trace import apply_trace, interleave_persists
+from repro.workloads.ycsb import YcsbWorkload
+
+BACKENDS = ("dram", "pm_direct", "pax", "hybrid", "pmdk", "redo",
+            "mprotect", "compiler")
+MIXES = ("C", "B", "A", "W")
+RECORDS = 6000
+OPS = 2500
+GROUP = 64
+
+
+def run_cell(name, mix):
+    backend = bench_backend(name)
+    workload = YcsbWorkload(mix=mix, record_count=RECORDS, op_count=OPS,
+                            distribution="zipfian", seed=11)
+    apply_trace(backend, workload.load_trace())
+    backend.persist()
+    run_trace = interleave_persists(workload.run_trace(), GROUP)
+    start = backend.now_ns
+    ops = apply_trace(backend, run_trace)
+    elapsed = backend.now_ns - start
+    return ops * 1e3 / elapsed    # Mops (ops per simulated ms / 1000)
+
+
+def run():
+    return {mix: {name: run_cell(name, mix) for name in BACKENDS}
+            for mix in MIXES}
+
+
+def test_ycsb_matrix(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-ycsb: single-thread throughput [Mops] by mix",
+                  ["backend"] + ["YCSB-%s" % mix for mix in MIXES])
+    for name in BACKENDS:
+        table.add_row(name, *[results[mix][name] for mix in MIXES])
+    table.show()
+    for mix in MIXES:
+        cell = results[mix]
+        # DRAM is the ceiling everywhere.
+        assert all(cell["dram"] >= cell[name] * 0.99 for name in BACKENDS)
+        # The WAL schemes pay more as the write fraction grows; on the
+        # read-only mix everyone is within noise of PM direct except the
+        # device-hop systems.
+        if mix in ("A", "W"):
+            assert cell["pm_direct"] > cell["pmdk"]
+            assert cell["pax"] > cell["pmdk"]
+            assert cell["pmdk"] > cell["compiler"]
+    # Reads are where PAX's cacheability shines: on mix C it matches the
+    # host-attached systems despite the device hop.
+    read_only = results["C"]
+    assert read_only["pax"] > 0.5 * read_only["pm_direct"]

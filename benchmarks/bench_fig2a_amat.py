@@ -1,0 +1,71 @@
+"""Figure 2a: AMAT estimates for DRAM / PM / PM-via-CXL / PM-via-Enzian.
+
+Reproduces the paper's §5 methodology: measure L1/L2/LLC miss rates from
+the single-thread hash-table get() benchmark (8 B keys/values, uniform),
+then combine with media latencies. Prints the four bars and checks the
+paper's two headline claims:
+
+* claim-cxl-25pct — the CXL PAX adds ~25% to AMAT over raw PM;
+* claim-enzian-2x — the Enzian PAX's overhead is ~2x the CXL PAX's.
+"""
+
+from repro.analysis.amat import AmatModel, CONFIGS, measure_miss_rates
+from repro.analysis.report import Table
+
+LABELS = {
+    "dram": "DRAM",
+    "pm": "PM",
+    "pm_cxl": "PM via CXL",
+    "pm_enzian": "PM via Enzian",
+}
+
+
+def run_fig2a():
+    rates = measure_miss_rates(record_count=20000, op_count=30000)
+    model = AmatModel(rates)
+    return model, model.estimate_all()
+
+
+def test_fig2a_amat(benchmark):
+    model, estimates = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+
+    table = Table("Figure 2a: AMAT estimates [ns]", ["configuration",
+                                                     "AMAT (ns)",
+                                                     "crash consistent"])
+    consistent = {"dram": "no", "pm": "no", "pm_cxl": "yes",
+                  "pm_enzian": "yes"}
+    for config in CONFIGS:
+        table.add_row(LABELS[config], estimates[config], consistent[config])
+    table.show()
+    rates = model.miss_rates
+    print("miss rates: L1 %.1f%%  L2 %.1f%%  LLC %.1f%%  (of %d accesses)"
+          % (100 * rates.l1_miss_rate, 100 * rates.l2_miss_rate,
+             100 * rates.llc_miss_rate, rates.accesses))
+    print("claim-cxl-25pct: CXL PAX adds %.1f%% to AMAT over PM "
+          "(paper: ~25%%)" % (100 * model.cxl_overhead_over_pm()))
+    print("claim-enzian-2x: Enzian/CXL overhead ratio %.2f (paper: ~2x)"
+          % model.enzian_overhead_ratio())
+
+    # Shape assertions (who wins, by roughly what factor).
+    assert estimates["dram"] < estimates["pm"] < estimates["pm_cxl"] \
+        < estimates["pm_enzian"]
+    assert 0.05 < model.cxl_overhead_over_pm() < 0.45
+    assert 1.5 < model.enzian_overhead_ratio() < 2.6
+
+
+def test_fig2a_hbm_sensitivity(benchmark):
+    """Extension row: a warm device HBM cache shrinks the PAX penalty."""
+
+    def run():
+        rates = measure_miss_rates(record_count=20000, op_count=30000)
+        return {hit_rate: AmatModel(rates, hbm_hit_rate=hit_rate)
+                .amat_ns("pm_cxl") for hit_rate in (0.0, 0.25, 0.5, 0.75)}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("Figure 2a extension: PM-via-CXL AMAT vs HBM hit rate",
+                  ["hbm hit rate", "AMAT (ns)"])
+    for hit_rate, amat in sorted(curves.items()):
+        table.add_row("%.0f%%" % (100 * hit_rate), amat)
+    table.show()
+    values = [curves[k] for k in sorted(curves)]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,52 @@
+"""Figure 2b: write-only throughput vs thread count.
+
+Measures single-thread per-op latency and media traffic in full
+simulation, then applies the roofline thread-scaling model
+(DESIGN.md §5 documents this substitution). Prints the three paper curves
+(DRAM / PM Direct / PMDK) plus PAX as the paper's predicted fourth curve,
+and checks:
+
+* the ordering DRAM > PM Direct > PMDK at every thread count;
+* claim-pmdk-2x — PM Direct ends roughly 2x above PMDK at 32 threads;
+* the paper's optimism: PAX lands above PMDK (asynchronous logging).
+"""
+
+from benchmarks.conftest import OPS, RECORDS, bench_backend
+from repro.analysis.report import Table
+from repro.analysis.throughput import FIG2B_THREADS, figure_2b
+
+BACKENDS = ("dram", "pm_direct", "pmdk", "pax")
+
+
+def run_fig2b():
+    factories = {name: (lambda n=name: bench_backend(n))
+                 for name in BACKENDS}
+    return figure_2b(factories, record_count=RECORDS, op_count=OPS)
+
+
+def test_fig2b_throughput(benchmark):
+    figure = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+
+    table = Table("Figure 2b: throughput [Mops] vs threads",
+                  ["backend"] + [str(t) for t in FIG2B_THREADS])
+    for name in BACKENDS:
+        table.add_row(name, *[figure.curves[name][t] for t in FIG2B_THREADS])
+    table.show()
+    profile_table = Table("single-thread profiles",
+                          ["backend", "ns/op", "media wB/op", "media rB/op"])
+    for name in BACKENDS:
+        profile = figure.profiles[name]
+        profile_table.add_row(name, profile.per_op_ns,
+                              profile.write_bytes_per_op,
+                              profile.read_bytes_per_op)
+    profile_table.show()
+    ratio = figure.ratio_at("pm_direct", "pmdk", 32)
+    print("claim-pmdk-2x: PM Direct / PMDK at 32 threads = %.2fx "
+          "(paper: ~2x)" % ratio)
+
+    for threads in FIG2B_THREADS:
+        assert figure.at("dram", threads) > figure.at("pm_direct", threads)
+        assert figure.at("pm_direct", threads) > figure.at("pmdk", threads)
+    assert 1.2 < ratio < 3.5
+    # The paper's §5 prediction: PAX beats hand-crafted PMDK.
+    assert figure.at("pax", 32) > figure.at("pmdk", 32)

@@ -1,0 +1,94 @@
+"""abl-hybrid: PAX vs the paging+PAX hybrid vs pure paging (§5.1).
+
+"Our plan is to compare these approaches in detail for a variety of
+applications. We may find that a combination of the approaches works
+best." — executed: read-mostly and write-heavy mixes over the pure-PAX
+backend, the §5.1 hybrid, and the mprotect baseline, reporting time,
+device traffic, faults, and log bytes.
+"""
+
+from benchmarks.conftest import BENCH_CACHES
+from repro.analysis.report import Table
+from repro.baselines import make_backend
+from repro.sim.rng import DeterministicRng
+from repro.workloads.keys import KeySequence
+
+RECORDS = 6000
+OPS = 3000
+HEAP = 32 * 1024 * 1024
+
+
+def build(name):
+    kwargs = dict(capacity=1 << 12)
+    if name in ("pax", "hybrid"):
+        kwargs.update(pool_size=HEAP, log_size=8 * 1024 * 1024)
+    else:
+        kwargs.update(heap_size=HEAP)
+    kwargs.update(BENCH_CACHES)
+    return make_backend(name, **kwargs)
+
+
+def run_mix(name, read_fraction):
+    backend = build(name)
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        backend.put(load.next(), index)
+    backend.persist()
+    backend.machine.hierarchy.drop_all()      # cold caches: fair reads
+    rng = DeterministicRng(7)
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = backend.now_ns
+    for index in range(OPS):
+        key = keys.next()
+        if rng.random() < read_fraction:
+            backend.get(key)
+        else:
+            backend.put(key, index)
+        if (index + 1) % 128 == 0:
+            backend.persist()
+    backend.persist()
+    elapsed = backend.now_ns - start
+    device = getattr(backend.machine, "device", None)
+    return {
+        "ns_per_op": elapsed / OPS,
+        "device_reads": device.stats.get("rd_shared") if device else 0,
+        "faults": getattr(backend, "fault_count", 0),
+        "log_bytes": (getattr(backend, "log_bytes", 0)
+                      or getattr(backend, "wal_bytes", 0)),
+    }
+
+
+def run():
+    out = {}
+    for name in ("pax", "hybrid", "mprotect"):
+        for mix, read_fraction in (("read-mostly", 0.95),
+                                   ("write-heavy", 0.20)):
+            out[(name, mix)] = run_mix(name, read_fraction)
+    return out
+
+
+def test_hybrid_comparison(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for mix in ("read-mostly", "write-heavy"):
+        table = Table("abl-hybrid: %s (95%%/20%% reads)" % mix,
+                      ["scheme", "ns/op", "device reads", "page faults",
+                       "log KiB"])
+        for name in ("pax", "hybrid", "mprotect"):
+            row = results[(name, mix)]
+            table.add_row(name, row["ns_per_op"], row["device_reads"],
+                          row["faults"], row["log_bytes"] / 1024)
+        table.show()
+    read_mostly = {name: results[(name, "read-mostly")]
+                   for name in ("pax", "hybrid", "mprotect")}
+    write_heavy = {name: results[(name, "write-heavy")]
+                   for name in ("pax", "hybrid", "mprotect")}
+    # Read-mostly: the hybrid offloads reads from the device...
+    assert read_mostly["hybrid"]["device_reads"] \
+        < read_mostly["pax"]["device_reads"] / 2
+    # ...while keeping line-granularity logging (far below page logs).
+    assert results[("hybrid", "write-heavy")]["log_bytes"] \
+        < results[("mprotect", "write-heavy")]["log_bytes"] / 3
+    # Write-heavy: the hybrid pays trap costs mprotect also pays; pure
+    # PAX avoids them entirely.
+    assert write_heavy["pax"]["faults"] == 0
+    assert write_heavy["hybrid"]["faults"] > 0

@@ -1,0 +1,114 @@
+"""tab-trap: the cost of interposing on a first store.
+
+Paper §1: write-protection traps cost >1 us on modern x86, while a
+coherence-message interposition costs a link round trip (~100 ns class).
+Paper §5.1 ("Combining with Paging") adds the counterpoint: paging only
+pays on the *first* store per page per epoch, so spatial locality
+amortizes the trap.
+
+This bench measures both regimes with raw stores (no structure noise):
+
+* **strided** — one 8 B store per 4 KiB page: every store is a first
+  touch; the trap dominates and PAX wins big (the §1 argument);
+* **dense** — 64 consecutive lines in each page: the trap amortizes and
+  paging becomes competitive (the §5.1 argument).
+"""
+
+from benchmarks.conftest import BENCH_CACHES
+from repro.analysis.report import Table
+from repro.libpax.machine import HostMachine, PaxMachine
+from repro.mem.page_table import FaultingAccessor, PagePermission, PageTable
+from repro.pm.flush import FlushModel
+from repro.util.constants import PAGE_SIZE
+
+PAGES = 64
+HEAP = 16 * 1024 * 1024
+BASE = 8 * PAGE_SIZE
+
+
+def _offsets(dense):
+    if dense:
+        return [BASE + page * PAGE_SIZE + line * 64
+                for page in range(PAGES) for line in range(64)]
+    return [BASE + page * PAGE_SIZE for page in range(PAGES)]
+
+
+def pax_cost(dense):
+    machine = PaxMachine(pool_size=HEAP, log_size=4 * 1024 * 1024,
+                         **BENCH_CACHES)
+    mem = machine.mem()
+    offsets = _offsets(dense)
+    start = machine.now_ns
+    for offset in offsets:
+        mem.write_u64(offset, offset)
+    return (machine.now_ns - start) / len(offsets)
+
+
+def mprotect_cost(dense):
+    machine = HostMachine(media="pm", heap_size=HEAP, **BENCH_CACHES)
+    table = PageTable(0, HEAP)
+    table.protect_all(PagePermission.READ)
+    flush = FlushModel(machine.clock, machine.latency)
+
+    def on_fault(page):
+        machine.clock.advance(machine.latency.software.page_fault_ns)
+        # Log the old page (NT stores at PM write bandwidth).
+        machine.clock.advance(
+            PAGE_SIZE * 1e9 / machine.latency.bandwidth.pm_write_bps)
+        flush.sfence()
+        table.protect(page, PAGE_SIZE, PagePermission.READ_WRITE)
+
+    mem = FaultingAccessor(machine.mem(), table, on_fault)
+    offsets = _offsets(dense)
+    start = machine.now_ns
+    for offset in offsets:
+        mem.write_u64(offset, offset)
+    return (machine.now_ns - start) / len(offsets)
+
+
+def pm_direct_cost(dense):
+    machine = HostMachine(media="pm", heap_size=HEAP, **BENCH_CACHES)
+    mem = machine.mem()
+    offsets = _offsets(dense)
+    start = machine.now_ns
+    for offset in offsets:
+        mem.write_u64(offset, offset)
+    return (machine.now_ns - start) / len(offsets)
+
+
+def run(dense):
+    return {
+        "pax": pax_cost(dense),
+        "mprotect": mprotect_cost(dense),
+        "pm_direct": pm_direct_cost(dense),
+    }
+
+
+def test_interposition_strided(benchmark):
+    """Every store is a first touch: the trap cost is exposed (§1)."""
+    costs = benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+    table = Table("tab-trap: one store per page (worst case for paging)",
+                  ["mechanism", "ns/store"])
+    table.add_row("PAX (coherence message)", costs["pax"])
+    table.add_row("mprotect (page-fault trap)", costs["mprotect"])
+    table.add_row("none (PM direct)", costs["pm_direct"])
+    table.show()
+    assert costs["mprotect"] > costs["pax"]
+    # The trap overhead itself is >1 us (paper §1).
+    assert costs["mprotect"] - costs["pm_direct"] > 1000
+
+
+def test_interposition_dense(benchmark):
+    """64 stores per page: the trap amortizes (§5.1, 'Combining with
+    Paging') and the mechanisms converge."""
+    costs = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    table = Table("tab-trap: 64 stores per page (paging's best case)",
+                  ["mechanism", "ns/store"])
+    table.add_row("PAX (coherence message)", costs["pax"])
+    table.add_row("mprotect (page-fault trap)", costs["mprotect"])
+    table.add_row("none (PM direct)", costs["pm_direct"])
+    table.show()
+    strided = run(False)
+    amortized_gap = costs["mprotect"] - costs["pm_direct"]
+    strided_gap = strided["mprotect"] - strided["pm_direct"]
+    assert amortized_gap < strided_gap / 4

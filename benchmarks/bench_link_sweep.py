@@ -1,0 +1,49 @@
+"""abl-link: AMAT sensitivity to interconnect latency.
+
+The paper's viability argument rests on the device hop being cheap
+relative to PM media latency (§5: 25% AMAT overhead at expected CXL
+latency; 2x that on Enzian). This sweep varies the one-way hop latency
+and reports the AMAT overhead over raw PM — locating where an
+accelerator-based design stops making sense.
+"""
+
+from repro.analysis.amat import AmatModel, measure_miss_rates
+from repro.analysis.report import Table
+from repro.sim.latency import default_model
+
+HOPS_NS = (0, 20, 35, 80, 150, 300, 600)
+
+
+def run():
+    rates = measure_miss_rates(record_count=20000, op_count=30000)
+    rows = {}
+    for hop_ns in HOPS_NS:
+        model_cfg = default_model()
+        model_cfg.link.cxl_ns = float(hop_ns)
+        model = AmatModel(rates, latency=model_cfg)
+        rows[hop_ns] = {
+            "amat_ns": model.amat_ns("pm_cxl"),
+            "overhead": model.cxl_overhead_over_pm() if hop_ns else
+            (model.amat_ns("pm_cxl") - model.amat_ns("pm"))
+            / model.amat_ns("pm"),
+        }
+    return rows
+
+
+def test_link_latency_sweep(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-link: PAX AMAT vs one-way link latency",
+                  ["one-way hop (ns)", "AMAT (ns)", "overhead vs PM"])
+    for hop_ns in HOPS_NS:
+        row = rows[hop_ns]
+        table.add_row(hop_ns, row["amat_ns"],
+                      "%.0f%%" % (100 * row["overhead"]))
+    table.show()
+    overheads = [rows[h]["overhead"] for h in HOPS_NS]
+    # Monotone in link latency, and bounded by device-processing cost at 0.
+    assert overheads == sorted(overheads)
+    assert rows[0]["overhead"] < 0.10       # free link: just device proc
+    # The paper's CXL estimate (~35 ns hop) lands in the viable zone...
+    assert rows[35]["overhead"] < 0.35
+    # ...and a sufficiently slow interconnect would not.
+    assert rows[600]["overhead"] > 0.8

@@ -1,0 +1,57 @@
+"""abl-recovery: recovery time vs uncommitted-epoch size (paper §3.4).
+
+Recovery cost is proportional to the durable undo records of the
+interrupted epoch. Sweeps the number of unpersisted mutations before the
+crash and reports records rolled back plus recovery wall time (simulated
+work is byte-copying, so we report the record count and measured Python
+time as a proxy).
+"""
+
+import time
+
+from benchmarks.conftest import bench_backend
+from repro.analysis.report import Table
+from repro.workloads.keys import KeySequence
+
+RECORDS = 4000
+SWEEP = (0, 100, 500, 2000)
+
+
+def run_point(unpersisted_ops):
+    backend = bench_backend("pax")
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        backend.put(load.next(), index)
+    backend.persist()
+    expected = backend.to_dict()
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    for index in range(unpersisted_ops):
+        backend.put(keys.next(), index + RECORDS)
+    # Give background draining time so records are durable (worst case
+    # for recovery: everything must be rolled back).
+    backend.machine.clock.advance(50_000_000)
+    backend.crash()
+    wall_start = time.perf_counter()
+    rolled_back = backend.restart()
+    wall = time.perf_counter() - wall_start
+    assert backend.to_dict() == expected
+    return {"rolled_back": rolled_back, "wall_s": wall}
+
+
+def run():
+    return {n: run_point(n) for n in SWEEP}
+
+
+def test_recovery_scales_with_epoch_size(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-recovery: rollback work vs uncommitted ops",
+                  ["unpersisted ops", "records rolled back",
+                   "recovery wall (ms)"])
+    for n in SWEEP:
+        table.add_row(n, results[n]["rolled_back"],
+                      results[n]["wall_s"] * 1e3)
+    table.show()
+    assert results[0]["rolled_back"] == 0
+    counts = [results[n]["rolled_back"] for n in SWEEP]
+    assert counts == sorted(counts)
+    assert results[2000]["rolled_back"] > results[100]["rolled_back"]

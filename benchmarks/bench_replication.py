@@ -1,0 +1,77 @@
+"""abl-replication: the cost of remote fault tolerance (§6).
+
+Sync replication charges each persist() a network round trip plus line
+transfer; async replication hides the wire behind the epoch pipeline at
+the price of bounded failover staleness. This bench measures both against
+an unreplicated pool across epoch sizes.
+"""
+
+from benchmarks.conftest import BENCH_CACHES
+from repro.analysis.report import Table
+from repro.core.replication import NetworkLink, ReplicaTarget, Replicator
+from repro.libpax.pool import PaxPool
+from repro.pm.device import PmDevice
+from repro.pm.pool import Pool
+from repro.structures.hashmap import HashMap
+from repro.workloads.keys import KeySequence
+
+HEAP = 32 * 1024 * 1024
+LOG = 8 * 1024 * 1024
+RECORDS = 8000
+OPS = 2000
+GROUP = 64
+
+
+def run_mode(mode):
+    pool = PaxPool.map_pool(pool_size=HEAP, log_size=LOG, **BENCH_CACHES)
+    replicator = None
+    if mode != "none":
+        replica = ReplicaTarget(
+            Pool.format(PmDevice("replica", HEAP), log_size=LOG))
+        link = NetworkLink(pool.machine.clock)
+        replicator = Replicator(pool.machine, replica, link=link, mode=mode)
+    table = pool.persistent(HashMap, capacity=1 << 13)
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        table.put(load.next(), index)
+    pool.persist()
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = pool.machine.now_ns
+    persist_ns = []
+    max_lag = 0
+    for index in range(OPS):
+        table.put(keys.next(), index)
+        if (index + 1) % GROUP == 0:
+            persist_ns.append(pool.persist())
+            if replicator is not None:
+                max_lag = max(max_lag, replicator.lag_epochs)
+    if replicator is not None:
+        replicator.flush()
+    elapsed = pool.machine.now_ns - start
+    return {
+        "ns_per_op": elapsed / OPS,
+        "mean_persist_ns": sum(persist_ns) / len(persist_ns),
+        "max_lag_epochs": max_lag,
+    }
+
+
+def run():
+    return {mode: run_mode(mode) for mode in ("none", "sync", "async")}
+
+
+def test_replication_cost(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-replication: remote fault tolerance",
+                  ["mode", "ns/op", "mean persist (ns)",
+                   "max failover lag (epochs)"])
+    for mode, row in results.items():
+        table.add_row(mode, row["ns_per_op"], row["mean_persist_ns"],
+                      row["max_lag_epochs"])
+    table.show()
+    # Sync pays the wire on every persist; async hides most of it.
+    assert results["sync"]["mean_persist_ns"] \
+        > results["none"]["mean_persist_ns"]
+    assert results["async"]["mean_persist_ns"] \
+        < results["sync"]["mean_persist_ns"]
+    # Sync never lags; async may.
+    assert results["sync"]["max_lag_epochs"] == 0

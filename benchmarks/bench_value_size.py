@@ -1,0 +1,99 @@
+"""abl-valsize: value size scaling (8 B -> 1 KiB, YCSB-realistic).
+
+The paper's microbenchmark uses 8 B values; production KV serving carries
+hundreds of bytes to kilobytes, where per-op line counts — and therefore
+undo records, snoops, and PM write traffic — scale up. This bench drives
+the variable-size :class:`~repro.structures.blobmap.BlobMap` on PAX and
+on PM-direct across value sizes and reports how the crash-consistency
+overhead scales.
+"""
+
+from benchmarks.conftest import BENCH_CACHES
+from repro.analysis.report import Table
+from repro.libpax.allocator import PmAllocator
+from repro.libpax.machine import HostMachine
+from repro.libpax.pool import PaxPool
+from repro.structures.blobmap import BlobMap
+from repro.workloads.keys import KeySequence
+
+HEAP = 64 * 1024 * 1024
+RECORDS = 1500
+OPS = 1000
+GROUP = 64
+SIZES = (8, 128, 1024)
+
+
+def run_pax(value_size):
+    pool = PaxPool.map_pool(pool_size=HEAP, log_size=16 * 1024 * 1024,
+                            **BENCH_CACHES)
+    table = pool.persistent(BlobMap, capacity=1 << 11)
+    payload = b"v" * value_size
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        table.put(load.next(), payload)
+    pool.persist()
+    device = pool.machine.device
+    records_before = device.undo.stats.get("records")
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = pool.machine.now_ns
+    for index in range(OPS):
+        table.put(keys.next(), payload)
+        if (index + 1) % GROUP == 0:
+            pool.persist()
+    pool.persist()
+    elapsed = pool.machine.now_ns - start
+    return {
+        "ns_per_op": elapsed / OPS,
+        "undo_records_per_op":
+            (device.undo.stats.get("records") - records_before) / OPS,
+    }
+
+
+def run_pm_direct(value_size):
+    machine = HostMachine(media="pm", heap_size=HEAP, **BENCH_CACHES)
+    mem = machine.mem()
+    alloc = PmAllocator.create(mem, HEAP)
+    table = BlobMap.create(mem, alloc, capacity=1 << 11)
+    payload = b"v" * value_size
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        table.put(load.next(), payload)
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    start = machine.now_ns
+    for index in range(OPS):
+        table.put(keys.next(), payload)
+    return {"ns_per_op": (machine.now_ns - start) / OPS}
+
+
+def run():
+    return {size: {"pax": run_pax(size), "pm_direct": run_pm_direct(size)}
+            for size in SIZES}
+
+
+def test_value_size_scaling(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-valsize: BlobMap put() vs value size",
+                  ["value size", "pax ns/op", "pm_direct ns/op",
+                   "pax overhead", "undo records/op"])
+    for size in SIZES:
+        pax_row = results[size]["pax"]
+        direct_row = results[size]["pm_direct"]
+        overhead = pax_row["ns_per_op"] / direct_row["ns_per_op"] - 1
+        table.add_row("%d B" % size, pax_row["ns_per_op"],
+                      direct_row["ns_per_op"],
+                      "%.0f%%" % (100 * overhead),
+                      pax_row["undo_records_per_op"])
+    table.show()
+    print("note: pax rows include group-commit persists (crash-consistent)"
+          "; pm_direct has no durability point at all. At cache-resident"
+          " sizes the gap is the persist amortization; at 1 KiB both are"
+          " media-bound and PAX's HBM erases it.")
+    # Bigger values touch more lines: undo records per op must grow...
+    records = [results[size]["pax"]["undo_records_per_op"]
+               for size in SIZES]
+    assert records == sorted(records)
+    assert records[-1] > records[0] * 3
+    # ...and 1 KiB values cost more per op than 8 B values, everywhere.
+    for name in ("pax", "pm_direct"):
+        assert results[1024][name]["ns_per_op"] \
+            > results[8][name]["ns_per_op"]

@@ -1,0 +1,60 @@
+"""abl-wear: PM endurance pressure per crash-consistency scheme.
+
+Every write-ahead scheme concentrates media writes in its log region;
+the question is how hard. This bench runs the same update workload and
+reports where the line writes landed and the single hottest line — the
+figure an endurance budget is sized against. PAX's per-epoch dedup and
+asynchronous draining reduce log pressure; mprotect's page pre-images
+multiply it.
+"""
+
+from benchmarks.conftest import bench_backend
+from repro.analysis.report import Table
+from repro.analysis.wear import measure_wear
+from repro.workloads.keys import KeySequence
+
+RECORDS = 6000
+OPS = 3000
+GROUP = 64
+
+
+def run_backend(name):
+    backend = bench_backend(name)
+    load = KeySequence(RECORDS, "sequential", seed=1)
+    for index in range(RECORDS):
+        backend.put(load.next(), index)
+    backend.persist()
+    keys = KeySequence(RECORDS, "uniform", seed=2)
+    for index in range(OPS):
+        backend.put(keys.next(), index)
+        if (index + 1) % GROUP == 0:
+            backend.persist()
+    backend.persist()
+    return measure_wear(backend)
+
+
+def run():
+    return {name: run_backend(name)
+            for name in ("pax", "pmdk", "mprotect", "pm_direct")}
+
+
+def test_wear_pressure(benchmark):
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("abl-wear: line writes by region",
+                  ["scheme", "data-region writes", "log-region writes",
+                   "log share", "hottest line", "skew"])
+    for name, report in reports.items():
+        table.add_row(name, report.data_region_writes,
+                      report.log_region_writes,
+                      "%.0f%%" % (100 * report.log_fraction),
+                      report.max_line_wear, report.skew)
+    table.show()
+    # No log, no log wear.
+    assert reports["pm_direct"].log_region_writes == 0
+    # Every logging scheme writes its log; the page-pre-image scheme
+    # writes it hardest.
+    assert reports["mprotect"].log_region_writes \
+        > reports["pax"].log_region_writes
+    # The hottest line under any WAL scheme is far above the data-region
+    # mean — the endurance argument in one number.
+    assert reports["pmdk"].skew > 3

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Figure 2a on your laptop: AMAT for DRAM / PM / PM-via-CXL / PM-via-Enzian.
+
+Measures hash-table get() miss rates on the cache simulator, combines
+them with published media latencies (the paper's §5 method), and prints
+the four bars plus the two headline ratios. Also sweeps the device HBM
+hit rate to show where a warm device cache takes PAX.
+"""
+
+from repro.analysis.amat import AmatModel, CONFIGS, measure_miss_rates
+from repro.analysis.report import Table
+
+LABELS = {
+    "dram": "DRAM (volatile)",
+    "pm": "PM direct (unsafe)",
+    "pm_cxl": "PM via CXL PAX",
+    "pm_enzian": "PM via Enzian PAX",
+}
+
+
+def main():
+    print("measuring miss rates (hash table get(), uniform keys)...")
+    rates = measure_miss_rates(record_count=20000, op_count=30000)
+    print("  L1 miss %.1f%%, L2 miss %.1f%%, LLC miss %.1f%%"
+          % (100 * rates.l1_miss_rate, 100 * rates.l2_miss_rate,
+             100 * rates.llc_miss_rate))
+
+    model = AmatModel(rates)
+    table = Table("Figure 2a: estimated AMAT", ["configuration", "ns"])
+    for config in CONFIGS:
+        table.add_row(LABELS[config], model.amat_ns(config))
+    table.show()
+    print()
+    print("CXL PAX adds %.0f%% to AMAT over raw PM (paper estimate: ~25%%)"
+          % (100 * model.cxl_overhead_over_pm()))
+    print("Enzian overhead is %.1fx the CXL overhead (paper estimate: ~2x)"
+          % model.enzian_overhead_ratio())
+
+    table = Table("PM-via-CXL AMAT vs device HBM hit rate",
+                  ["HBM hit rate", "AMAT (ns)"])
+    for hit_rate in (0.0, 0.25, 0.5, 0.75, 1.0):
+        warm = AmatModel(rates, hbm_hit_rate=hit_rate)
+        table.add_row("%.0f%%" % (100 * hit_rate), warm.amat_ns("pm_cxl"))
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

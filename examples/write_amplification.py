@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Write amplification: line-granularity vs page-granularity logging.
+
+Reproduces the paper's §1 argument in one run: mutate scattered 8-byte
+fields and compare how many bytes each scheme's log writes per byte the
+application logically changed. Then shows paging's redemption case
+(sequential keys, §5.1 "Combining with Paging").
+"""
+
+from repro.analysis.report import Table
+from repro.analysis.writeamp import measure_write_amp
+from repro.baselines import make_backend
+
+OPS = 600
+RECORDS = 3000
+
+
+def build(name):
+    kwargs = dict(heap_size=8 * 1024 * 1024, capacity=1024)
+    if name == "pax":
+        kwargs = dict(pool_size=8 * 1024 * 1024, log_size=1024 * 1024,
+                      capacity=1024)
+    return make_backend(name, **kwargs)
+
+
+def main():
+    for distribution, label in (("uniform", "scattered 8 B updates"),
+                                ("sequential", "clustered updates")):
+        table = Table("log write amplification: %s" % label,
+                      ["scheme", "log bytes/op", "log bytes per app byte"])
+        for name in ("pax", "pmdk", "mprotect"):
+            report = measure_write_amp(build(name), op_count=OPS,
+                                       record_count=RECORDS,
+                                       distribution=distribution,
+                                       group_size=64)
+            table.add_row(name, report.log_bytes / report.ops,
+                          report.log_amplification)
+        table.show()
+    print()
+    print("PAX logs one 96 B record per modified 64 B line per epoch;")
+    print("the page-fault scheme logs a 4 KiB pre-image per touched page.")
+    print("Scattered updates make that a ~30-60x difference; clustered")
+    print("updates amortize the page log (the paper's hybrid motivation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""PAX: cache-coherent accelerators for persistent memory crash consistency.
+
+A full-system Python reproduction of Bhardwaj et al., HotStorage '22.
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart (paper Listing 1)::
+
+    from repro import map_pool, HashMap
+
+    pool = map_pool("./ht.pool")
+    ht = pool.persistent(HashMap)
+    ht.put(1, 100)
+    print("Key 1 =", ht.get(1))
+    ht.put(2, 200)
+    pool.persist()
+"""
+
+from repro.core import PaxConfig, PaxDevice, recover_pool
+from repro.errors import ReproError
+from repro.libpax import (
+    HostMachine,
+    PaxMachine,
+    PaxPool,
+    Persistent,
+    PmAllocator,
+    map_pool,
+)
+from repro.structures import (
+    BlobMap,
+    BTree,
+    HashMap,
+    PersistentList,
+    PersistentVector,
+    RingBuffer,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BlobMap",
+    "BTree",
+    "HashMap",
+    "HostMachine",
+    "PaxConfig",
+    "PaxDevice",
+    "PaxMachine",
+    "PaxPool",
+    "Persistent",
+    "PersistentList",
+    "PersistentVector",
+    "PmAllocator",
+    "ReproError",
+    "RingBuffer",
+    "__version__",
+    "map_pool",
+    "recover_pool",
+]

@@ -1,0 +1,49 @@
+"""Evaluation analytics: AMAT, thread scaling, write amplification, reports."""
+
+from repro.analysis.amat import (
+    AmatModel,
+    CONFIGS,
+    figure_2a,
+    measure_miss_rates,
+)
+from repro.analysis.latency import LatencyProfile, measure_request_latencies
+from repro.analysis.machine_report import machine_report
+from repro.analysis.report import Table, format_bytes, format_ns
+from repro.analysis.throughput import (
+    FIG2B_THREADS,
+    Figure2b,
+    ScalingModel,
+    SingleThreadProfile,
+    figure_2b,
+    profile_backend,
+)
+from repro.analysis.wear import WearReport, measure_wear
+from repro.analysis.writeamp import (
+    LOGICAL_BYTES_PER_PUT,
+    WriteAmpReport,
+    measure_write_amp,
+)
+
+__all__ = [
+    "AmatModel",
+    "CONFIGS",
+    "FIG2B_THREADS",
+    "Figure2b",
+    "LOGICAL_BYTES_PER_PUT",
+    "LatencyProfile",
+    "measure_request_latencies",
+    "ScalingModel",
+    "SingleThreadProfile",
+    "Table",
+    "WearReport",
+    "WriteAmpReport",
+    "measure_wear",
+    "figure_2a",
+    "figure_2b",
+    "format_bytes",
+    "format_ns",
+    "machine_report",
+    "measure_miss_rates",
+    "measure_write_amp",
+    "profile_backend",
+]

@@ -1,0 +1,79 @@
+"""Per-operation latency profiles (tail behaviour).
+
+Throughput curves hide the cost structure group commit creates: with a
+blocking ``persist()`` every Nth request absorbs the whole epoch commit,
+so p50 is excellent and p99 is terrible. The pipelined persist (§6
+extension) exists precisely to flatten that tail. This module measures
+request latencies in simulation and reports the distribution.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.stats import Histogram
+
+
+@dataclass
+class LatencyProfile:
+    """Distribution of per-request simulated latencies."""
+
+    name: str
+    histogram: Histogram = field(default_factory=lambda: Histogram("req_ns"))
+
+    def record(self, latency_ns):
+        """Record one request's latency."""
+        self.histogram.record(latency_ns)
+
+    @property
+    def count(self):
+        """Requests recorded."""
+        return self.histogram.count
+
+    @property
+    def mean_ns(self):
+        """Mean request latency in ns."""
+        return self.histogram.mean
+
+    def percentile(self, p):
+        """p-th percentile request latency in ns."""
+        return self.histogram.percentile(p)
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p95/p99/max summary for reports."""
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.histogram.max if self.count else 0.0,
+            "mean": self.mean_ns,
+        }
+
+
+def measure_request_latencies(backend, keys, values, group_size=64,
+                              persist_mode="blocking"):
+    """Run puts measuring each *request's* latency, persists included.
+
+    A request is one put; when the group boundary falls on it, the
+    durability action joins that request's latency — blocking
+    ``persist()``, pipelined ``persist_async()``, or nothing
+    (``persist_mode="none"``, for per-op-durable schemes whose commit is
+    already inside put). Returns a :class:`LatencyProfile`.
+    """
+    profile = LatencyProfile(backend.name)
+    clock = backend.machine.clock
+    pool = getattr(backend, "pool", None)
+    for index, (key, value) in enumerate(zip(keys, values)):
+        start = clock.now_ns
+        backend.put(key, value)
+        if (index + 1) % group_size == 0:
+            if persist_mode == "blocking":
+                backend.persist()
+            elif persist_mode == "async":
+                pool.persist_async()
+        profile.record(clock.now_ns - start)
+    if persist_mode == "async":
+        pool.persist_barrier()
+        pool.persist()
+    elif persist_mode == "blocking":
+        backend.persist()
+    return profile

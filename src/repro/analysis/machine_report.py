@@ -1,0 +1,92 @@
+"""Whole-machine statistics reports.
+
+One call collects every component's counters into a readable dump —
+useful in examples, debugging sessions, and for eyeballing where
+simulated time and traffic went after a benchmark.
+"""
+
+from repro.analysis.report import Table, format_bytes, format_ns
+from repro.util.stats import ratio
+
+
+def machine_report(machine):
+    """Return a multi-table report string for any machine."""
+    sections = []
+    sections.append(_hierarchy_section(machine))
+    if hasattr(machine, "device"):
+        sections.append(_device_section(machine))
+        sections.append(_link_section(machine))
+    if hasattr(machine, "memory"):
+        sections.append(_media_section(machine.memory))
+    if hasattr(machine, "pm"):
+        sections.append(_media_section(machine.pm))
+    sections.append("simulated time: %s" % format_ns(machine.now_ns))
+    return "\n\n".join(sections)
+
+
+def _hierarchy_section(machine):
+    stats = machine.hierarchy.stats
+    accesses = (stats.get("l1_hits") + stats.get("l2_hits")
+                + stats.get("llc_hits") + stats.get("memory_fetches")
+                + stats.get("cross_core_transfers")
+                + stats.get("sharer_forwards"))
+    table = Table("cache hierarchy", ["metric", "value"])
+    table.add_row("line accesses", accesses)
+    table.add_row("L1 hit rate",
+                  "%.1f%%" % (100 * ratio(stats.get("l1_hits"), accesses)))
+    table.add_row("memory fetches", stats.get("memory_fetches"))
+    table.add_row("cross-core transfers", stats.get("cross_core_transfers"))
+    table.add_row("sharer forwards", stats.get("sharer_forwards"))
+    table.add_row("LLC write-backs", stats.get("llc_writebacks"))
+    table.add_row("snoops (shared/inv)",
+                  "%d / %d" % (stats.get("snoop_shared"),
+                               stats.get("snoop_invalidate")))
+    return table.render()
+
+
+def _device_section(machine):
+    device = machine.device
+    stats = device.stats
+    table = Table("PAX device", ["metric", "value"])
+    table.add_row("RdShared served", stats.get("rd_shared"))
+    table.add_row("RdOwn served", stats.get("rd_own"))
+    table.add_row("MemRd / MemWr", "%d / %d" % (stats.get("mem_rd"),
+                                                stats.get("mem_wr")))
+    table.add_row("dirty evictions buffered", stats.get("dirty_evicts"))
+    table.add_row("lines undo-logged", stats.get("lines_logged"))
+    table.add_row("persists (blocking/async)",
+                  "%d / %d" % (stats.get("persists"),
+                               stats.get("persist_asyncs")))
+    hbm = device.hbm.stats
+    hits = hbm.get("hits")
+    table.add_row("HBM hit rate", "%.1f%%" % (
+        100 * ratio(hits, hits + hbm.get("misses"))))
+    table.add_row("PM line reads", stats.get("pm_line_reads"))
+    table.add_row("write-back buffer", "%d lines buffered now"
+                  % len(device.writeback))
+    table.add_row("forced log pumps",
+                  device.writeback.stats.get("forced_log_pumps"))
+    table.add_row("committed epoch", machine.pool.committed_epoch)
+    return table.render()
+
+
+def _link_section(machine):
+    link = machine.link
+    table = Table("interconnect (%s)" % link.name, ["metric", "value"])
+    table.add_row("host->device messages", link.stats.get("h2d_messages"))
+    table.add_row("device->host messages", link.stats.get("d2h_messages"))
+    table.add_row("host->device bytes",
+                  format_bytes(link.stats.get("h2d_bytes")))
+    table.add_row("device->host bytes",
+                  format_bytes(link.stats.get("d2h_bytes")))
+    return table.render()
+
+
+def _media_section(device):
+    stats = device.stats
+    table = Table("medium (%s)" % device.name, ["metric", "value"])
+    table.add_row("bytes read", format_bytes(stats.get("bytes_read")))
+    table.add_row("bytes written", format_bytes(stats.get("bytes_written")))
+    if stats.get("lines_written"):
+        table.add_row("lines written", stats.get("lines_written"))
+    return table.render()

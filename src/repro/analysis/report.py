@@ -1,0 +1,75 @@
+"""Plain-text tables and series for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper figure
+shows, via these helpers, so ``pytest benchmarks/ --benchmark-only`` output
+doubles as the EXPERIMENTS.md data source.
+"""
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add_row(self, *values):
+        """Append one row (stringified on render)."""
+        if len(values) != len(self.columns):
+            raise ValueError("expected %d values, got %d"
+                             % (len(self.columns), len(values)))
+        self.rows.append([_fmt(value) for value in values])
+
+    def render(self):
+        """Return the aligned table as a string."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = ["== %s ==" % self.title]
+        header = "  ".join(col.ljust(widths[i])
+                           for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self):
+        """Print the table."""
+        print()
+        print(self.render())
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.2f" % value
+    return str(value)
+
+
+def format_ns(ns):
+    """Human-scale a nanosecond figure."""
+    if ns >= 1e9:
+        return "%.2f s" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2f us" % (ns / 1e3)
+    return "%.1f ns" % ns
+
+
+def format_bytes(count):
+    """Human-scale a byte count."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return "%.1f %s" % (count, unit)
+        count /= 1024.0
+    return "%d B" % count

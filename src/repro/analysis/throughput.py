@@ -1,0 +1,185 @@
+"""Multi-thread throughput modelling — Figure 2b.
+
+Python cannot run the simulator's cores in parallel, so thread scaling is
+an explicit analytic model layered on measured single-thread behaviour
+(the coarsest substitution in this reproduction; see DESIGN.md §5):
+
+1. **Measure** one thread in full simulation: per-operation latency and
+   per-operation media traffic (bytes read/written at the memory device,
+   WAL bytes for logging schemes).
+2. **Scale** with a roofline: ``n`` threads achieve
+   ``min(n / latency_per_op, write_bw / write_bytes_per_op,
+   read_bw / read_bytes_per_op)`` operations per second, with an optional
+   coherence-contention discount for shared-structure writes.
+
+The paper's Figure 2b shape falls out of the measured inputs: DRAM has
+both low latency and a ~100 GB/s ceiling (near-linear to 32 threads); PM
+Direct pays 305 ns media latency and a 14 GB/s write ceiling; PMDK
+additionally *doubles* its write traffic (WAL + data) and serializes on
+fences, which is why PM Direct ends ~2x above it at 32 threads.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.workloads.keys import KeySequence
+from repro.workloads.trace import Op, apply_trace
+
+#: Thread counts plotted in Figure 2b.
+FIG2B_THREADS = (1, 8, 16, 24, 32)
+
+
+@dataclass
+class SingleThreadProfile:
+    """Measured single-thread behaviour of one backend."""
+
+    name: str
+    ops: int
+    elapsed_ns: float
+    media_read_bytes: int
+    media_write_bytes: int
+    log_bytes: int = 0
+
+    @property
+    def per_op_ns(self):
+        """Average simulated nanoseconds per operation."""
+        return self.elapsed_ns / self.ops if self.ops else 0.0
+
+    @property
+    def write_bytes_per_op(self):
+        """Media write traffic per operation.
+
+        ``media_write_bytes`` already includes log writes — every scheme's
+        log lives on the same PM device — so ``log_bytes`` is reported
+        separately but not added here.
+        """
+        return self.media_write_bytes / self.ops if self.ops else 0.0
+
+    @property
+    def read_bytes_per_op(self):
+        """Media read traffic per operation."""
+        return self.media_read_bytes / self.ops if self.ops else 0.0
+
+
+def _media_counters(backend):
+    """(read_bytes, write_bytes, log_bytes) at this backend's medium."""
+    machine = backend.machine
+    if hasattr(machine, "pm"):                      # PaxMachine
+        device = machine.pm
+    else:                                           # HostMachine
+        device = machine.memory
+    reads = device.stats.get("bytes_read")
+    writes = device.stats.get("bytes_written")
+    log_bytes = getattr(backend, "wal_bytes", 0) or getattr(
+        backend, "log_bytes", 0)
+    return reads, writes, log_bytes
+
+
+def profile_backend(backend, record_count=2000, op_count=4000,
+                    group_size=64, distribution="uniform", seed=42):
+    """Measure a backend's single-thread write-only profile (Fig 2b shape).
+
+    Loads ``record_count`` records, then replays ``op_count`` uniform
+    updates with a persist every ``group_size`` ops (ignored by per-op
+    durable schemes, group commit for epoch schemes).
+    """
+    load_keys = KeySequence(record_count, "sequential", seed=seed)
+    for index in range(record_count):
+        backend.put(load_keys.next(), index)
+    backend.persist()
+    reads0, writes0, log0 = _media_counters(backend)
+    start_ns = backend.now_ns
+    run_keys = KeySequence(record_count, distribution, seed=seed + 1)
+    trace = []
+    for index in range(op_count):
+        trace.append(Op("put", run_keys.next(), index))
+        if (index + 1) % group_size == 0:
+            trace.append(Op("persist"))
+    apply_trace(backend, trace)
+    backend.persist()
+    elapsed = backend.now_ns - start_ns
+    reads1, writes1, log1 = _media_counters(backend)
+    return SingleThreadProfile(
+        name=backend.name, ops=op_count, elapsed_ns=elapsed,
+        media_read_bytes=reads1 - reads0,
+        media_write_bytes=writes1 - writes0,
+        log_bytes=log1 - log0)
+
+
+@dataclass
+class ScalingModel:
+    """Roofline thread-scaling over a single-thread profile."""
+
+    profile: SingleThreadProfile
+    read_bw_bps: float
+    write_bw_bps: float
+    #: Fractional throughput lost per additional thread to coherence
+    #: traffic on the shared structure (cross-core invalidations). 2%
+    #: per thread reproduces the gentle sublinearity of Fig 2b's curves.
+    contention_per_thread: float = 0.02
+
+    def throughput_ops(self, threads):
+        """Modelled ops/second at ``threads`` threads."""
+        per_op = self.profile.per_op_ns
+        if per_op <= 0:
+            return 0.0
+        scale = threads / (1.0 + self.contention_per_thread * (threads - 1))
+        cpu_bound = scale * 1e9 / per_op
+        ceilings = [cpu_bound]
+        wbytes = self.profile.write_bytes_per_op
+        if wbytes > 0:
+            ceilings.append(self.write_bw_bps / wbytes)
+        rbytes = self.profile.read_bytes_per_op
+        if rbytes > 0:
+            ceilings.append(self.read_bw_bps / rbytes)
+        return min(ceilings)
+
+    def curve(self, threads_list=FIG2B_THREADS):
+        """``{threads: mops}`` across the Figure 2b x-axis."""
+        return {n: self.throughput_ops(n) / 1e6 for n in threads_list}
+
+
+@dataclass
+class Figure2b:
+    """The full figure: one curve per backend."""
+
+    curves: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    profiles: Dict[str, SingleThreadProfile] = field(default_factory=dict)
+
+    def add(self, name, model, threads_list=FIG2B_THREADS):
+        """Add one backend's modelled curve to the figure."""
+        self.profiles[name] = model.profile
+        self.curves[name] = model.curve(threads_list)
+
+    def at(self, name, threads):
+        """Mops of ``name`` at ``threads`` threads."""
+        return self.curves[name][threads]
+
+    def ratio_at(self, numerator, denominator, threads):
+        """Throughput ratio between two backends at a thread count."""
+        return self.at(numerator, threads) / self.at(denominator, threads)
+
+
+def figure_2b(backend_factories, record_count=2000, op_count=4000,
+              threads_list=FIG2B_THREADS, latency=None):
+    """Reproduce Figure 2b for ``{name: factory}`` backends.
+
+    Each factory builds a fresh backend; bandwidth ceilings come from the
+    backend's own latency model so ablations can re-aim them.
+    """
+    figure = Figure2b()
+    for name, factory in backend_factories.items():
+        backend = factory()
+        profile = profile_backend(backend, record_count=record_count,
+                                  op_count=op_count)
+        lat = backend.machine.latency
+        if backend.machine.__class__.__name__ == "HostMachine" \
+                and getattr(backend.machine, "media", "") == "dram":
+            read_bw = write_bw = lat.bandwidth.dram_bps
+        else:
+            read_bw = lat.bandwidth.pm_read_bps
+            write_bw = lat.bandwidth.pm_write_bps
+        model = ScalingModel(profile, read_bw_bps=read_bw,
+                             write_bw_bps=write_bw)
+        figure.add(name, model, threads_list)
+    return figure

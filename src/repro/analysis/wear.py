@@ -1,0 +1,74 @@
+"""PM endurance analysis: where the writes land.
+
+Persistent memory wears per write, and write-ahead logging concentrates
+writes: every operation hammers the (small) log region while the data
+region sees only final values. This module splits a backend's media
+writes into log-region and data-region traffic and reports the wear
+hotspot (the most-written single line) — the number an endurance budget
+is sized against.
+
+(The undo log region itself is the hotspot for *every* scheme including
+PAX; PAX's advantage is writing it asynchronously and — with per-epoch
+dedup — less often. Real devices level wear beneath the physical layer;
+this measures the logical pressure the scheme generates.)
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WearReport:
+    """Media wear summary for one backend run."""
+
+    name: str
+    data_region_writes: int
+    log_region_writes: int
+    lines_touched: int
+    total_line_writes: int
+    max_line_wear: int
+
+    @property
+    def log_fraction(self):
+        """Share of all line writes that hit the log region."""
+        if self.total_line_writes == 0:
+            return 0.0
+        return self.log_region_writes / self.total_line_writes
+
+    @property
+    def skew(self):
+        """Hotspot factor: max single-line writes / mean line writes."""
+        if self.lines_touched == 0:
+            return 0.0
+        mean = self.total_line_writes / self.lines_touched
+        return self.max_line_wear / mean if mean else 0.0
+
+
+def _regions(backend):
+    """(device, log_base, log_size, data_base, data_size) per scheme."""
+    machine = backend.machine
+    if hasattr(machine, "pm"):                  # PAX-family
+        pool = machine.pool
+        return (machine.pm, pool.log_base, pool.log_size,
+                pool.data_base, pool.data_size)
+    device = machine.memory
+    layout = getattr(backend, "_layout", None)
+    if layout is not None and hasattr(layout, "wal_base"):
+        return (device, layout.wal_base, layout.wal_size,
+                0, layout.arena_limit)
+    if layout is not None and hasattr(layout, "log_base"):
+        return (device, layout.log_base, layout.log_size,
+                0, layout.arena_limit)
+    return (device, 0, 0, 0, device.size)
+
+
+def measure_wear(backend):
+    """Summarize a backend's accumulated media wear into a report."""
+    device, log_base, log_size, data_base, data_size = _regions(backend)
+    lines_touched, total, max_wear = device.wear_profile()
+    return WearReport(
+        name=backend.name,
+        data_region_writes=device.region_writes(data_base, data_size),
+        log_region_writes=device.region_writes(log_base, log_size),
+        lines_touched=lines_touched,
+        total_line_writes=total,
+        max_line_wear=max_wear)

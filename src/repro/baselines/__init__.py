@@ -1,0 +1,25 @@
+"""Every system under comparison, behind one key-value interface."""
+
+from repro.baselines.base import KvBackend, StructureBackend
+from repro.baselines.compiler_pass import CompilerPassBackend
+from repro.baselines.dram import DramBackend
+from repro.baselines.hybrid import HybridBackend
+from repro.baselines.mprotect import MprotectBackend
+from repro.baselines.pax import PaxBackend, make_backend
+from repro.baselines.pm_direct import PmDirectBackend
+from repro.baselines.pmdk import PmdkBackend
+from repro.baselines.redo import RedoBackend
+
+__all__ = [
+    "CompilerPassBackend",
+    "DramBackend",
+    "HybridBackend",
+    "KvBackend",
+    "MprotectBackend",
+    "PaxBackend",
+    "PmDirectBackend",
+    "PmdkBackend",
+    "RedoBackend",
+    "StructureBackend",
+    "make_backend",
+]

@@ -1,0 +1,62 @@
+"""The compiler-instrumented baseline (Atlas / iDO style; paper §1-2).
+
+A compiler pass that transforms volatile code for PM cannot see logical
+operation boundaries the way a hand-crafted PMDK transaction does, so it
+conservatively orders *every* store: log the old value, SFENCE, store,
+CLWB, SFENCE. The paper calls this out verbatim: "Without nuanced,
+structure-specific changes to code, stalls are incurred multiple times
+during a single logical operation."
+
+Implementation: same WAL machinery as the PMDK backend, but the accessor
+eagerly persists every store instead of batching the flush at commit
+(lines it has flushed leave the dirty set, so commit only publishes the
+transaction id). Failure atomicity of whole operations still comes from an
+outer per-operation region (as Atlas derives from lock scopes), so
+recovery semantics match PMDK; only the hot-path cost differs.
+"""
+
+from repro.baselines.pmdk import PmdkBackend, UndoTxAccessor
+from repro.libpax.allocator import PmAllocator
+from repro.libpax.machine import HEAP_PHYS_BASE
+from repro.util.bitops import split_lines
+from repro.util.constants import CACHE_LINE_SIZE
+
+
+class PerStoreTxAccessor(UndoTxAccessor):
+    """Undo logging with per-store flush+fence (no commit-time batching)."""
+
+    def __init__(self, inner, wal, space, flush, machine):
+        super().__init__(inner, wal, space)
+        self._flush = flush
+        self._machine = machine
+
+    def write(self, addr, data):
+        data = bytes(data)
+        super().write(addr, data)
+        if self.in_tx:
+            # The pass cannot prove the store is covered by a later flush,
+            # so it eagerly persists it: CLWB the line(s), SFENCE. The
+            # lines are durable now, so commit need not revisit them.
+            for line, _off, _len in split_lines(addr, len(data)):
+                self._flush.clwb(line, CACHE_LINE_SIZE)
+                self._machine.hierarchy.writeback_line(HEAP_PHYS_BASE + line)
+                self._dirty.discard(line)
+            self._flush.sfence()
+
+
+class CompilerPassBackend(PmdkBackend):
+    """Per-store instrumented undo-WAL hash table on PM."""
+
+    name = "compiler"
+    crash_consistent = True
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        # Swap in the eager accessor and rebind structure + allocator so
+        # every subsequent store goes through it. (The heap written by the
+        # parent constructor is already durable and committed.)
+        self._tx = PerStoreTxAccessor(self._machine.mem(), self._wal,
+                                      self._machine.space, self._flush,
+                                      self._machine)
+        self._alloc = PmAllocator.attach(self._tx)
+        self._reattach_structure(self._tx, self._alloc, self._cells.root)

@@ -1,0 +1,197 @@
+"""The redo-WAL baseline (paper §2's other WAL flavour).
+
+Redo logging defers structure updates: inside a transaction, stores land
+in a volatile per-line overlay; reads check the overlay first so the
+transaction sees its own writes. At commit, every overlaid line's *new*
+value is appended to the WAL (NT stores), one SFENCE orders the batch, the
+commit cell is published, and only then are the lines applied in place
+through the caches.
+
+Fewer fences than undo logging (two per transaction instead of one per
+logged line), at the price of overlay lookups on the read path — the
+classic redo/undo trade the paper alludes to.
+
+Recovery: a transaction whose id is <= the commit cell re-applies its WAL
+entries (idempotent); newer entries are discarded — the structure was
+never touched in place before commit, so discarding is rollback.
+"""
+
+from repro.baselines.base import StructureBackend
+from repro.baselines.wal import DurableCells, Wal, WalLayout
+from repro.errors import LogError
+from repro.libpax.allocator import PmAllocator
+from repro.libpax.machine import HEAP_PHYS_BASE, HostMachine
+from repro.mem.accessor import MemoryAccessor
+from repro.pm.flush import FlushModel
+from repro.util.bitops import split_lines
+from repro.util.constants import CACHE_LINE_SIZE
+
+
+class RedoTxAccessor(MemoryAccessor):
+    """Write-set overlay: stores buffer per line until commit."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._tx_active = False
+        self._overlay = {}            # line_addr -> bytearray(64)
+
+    def begin(self):
+        """Open a transaction; clears the write-set overlay."""
+        if self._tx_active:
+            raise LogError("nested transactions are not supported")
+        self._tx_active = True
+        self._overlay.clear()
+
+    @property
+    def in_tx(self):
+        """True while a transaction is open."""
+        return self._tx_active
+
+    def overlay_lines(self):
+        """The write set: ``[(line_addr, bytes)]`` in first-touch order."""
+        return [(addr, bytes(data)) for addr, data in self._overlay.items()]
+
+    def end(self):
+        """Close the transaction and drop the overlay."""
+        self._tx_active = False
+        self._overlay.clear()
+
+    def _overlay_line(self, line):
+        data = self._overlay.get(line)
+        if data is None:
+            data = bytearray(self._inner.read(line, CACHE_LINE_SIZE))
+            self._overlay[line] = data
+        return data
+
+    def read(self, addr, length):
+        if not self._tx_active or not self._overlay:
+            return self._inner.read(addr, length)
+        out = bytearray()
+        for line, offset, chunk in split_lines(addr, length):
+            if line in self._overlay:
+                out += self._overlay[line][offset:offset + chunk]
+            else:
+                out += self._inner.read(line + offset, chunk)
+        return bytes(out)
+
+    def write(self, addr, data):
+        data = bytes(data)
+        if not self._tx_active:
+            self._inner.write(addr, data)
+            return
+        cursor = 0
+        for line, offset, chunk in split_lines(addr, len(data)):
+            overlay = self._overlay_line(line)
+            overlay[offset:offset + chunk] = data[cursor:cursor + chunk]
+            cursor += chunk
+
+    def apply(self):
+        """Commit phase: write the overlay in place (through the caches)."""
+        for line, data in self._overlay.items():
+            self._inner.write(line, bytes(data))
+
+
+class RedoBackend(StructureBackend):
+    """Redo-WAL hash table on PM."""
+
+    name = "redo"
+    crash_consistent = True
+
+    def __init__(self, heap_size=64 * 1024 * 1024, wal_size=None,
+                 capacity=1024, **machine_kwargs):
+        super().__init__()
+        self._machine = HostMachine(media="pm", heap_size=heap_size,
+                                    **machine_kwargs)
+        if wal_size is None:
+            # Default: an eighth of the heap, capped at 4 MiB.
+            wal_size = min(4 * 1024 * 1024, heap_size // 8)
+        self._layout = WalLayout(heap_size, wal_size)
+        self._flush = FlushModel(self._machine.clock, self._machine.latency)
+        self._cells = DurableCells(self._machine, self._layout)
+        self._wal = Wal(self._machine, self._layout, self._flush)
+        self._tx = RedoTxAccessor(self._machine.mem())
+        self._next_tx = self._cells.committed_tx + 1
+        self._capacity = capacity
+        if self._cells.root == 0:
+            self._alloc = PmAllocator.create(self._tx, self._layout.arena_limit)
+            self._bind_structure(self._tx, self._alloc, capacity=capacity)
+            for line in self._machine.hierarchy.dirty_lines():
+                self._flush.clwb(line - HEAP_PHYS_BASE, CACHE_LINE_SIZE)
+                self._machine.hierarchy.writeback_line(line)
+            self._flush.sfence()
+            self._cells.root = self._map.root
+            self._flush.sfence()
+        else:
+            self._alloc = PmAllocator.attach(self._tx)
+            self._reattach_structure(self._tx, self._alloc, self._cells.root)
+
+    @property
+    def machine(self):
+        return self._machine
+
+    def _run_tx(self, operation):
+        self._tx.begin()
+        try:
+            result = operation()
+            write_set = self._tx.overlay_lines()
+            # 1. Log every new value (NT stores pipeline; one fence).
+            for line, data in write_set:
+                self._wal.append(self._next_tx, line, data, fence=False)
+            self._flush.sfence()
+            # 2. Publish.
+            self._cells.committed_tx = self._next_tx
+            self._flush.sfence()
+            # 3. Apply in place and persist the application so the WAL can
+            # be reused for the next transaction.
+            self._tx.apply()
+            for line, _data in write_set:
+                self._flush.clwb(line, CACHE_LINE_SIZE)
+                self._machine.hierarchy.writeback_line(HEAP_PHYS_BASE + line)
+            if write_set:
+                self._flush.sfence()
+        finally:
+            self._tx.end()
+        self._next_tx += 1
+        self._wal.reset()
+        return result
+
+    def put(self, key, value):
+        self.stats.counter("puts").add(1)
+        return self._run_tx(lambda: self._map.put(key, value))
+
+    def remove(self, key):
+        self.stats.counter("removes").add(1)
+        return self._run_tx(lambda: self._map.remove(key))
+
+    def get(self, key, default=None):
+        self.stats.counter("gets").add(1)
+        return self._map.get(key, default)
+
+    def persist(self):
+        """Transactions are durable at commit; nothing extra to do."""
+
+    def restart(self):
+        """Reboot; re-apply committed WAL entries, discard uncommitted."""
+        self._machine.restart()
+        committed = self._cells.committed_tx
+        replayed = 0
+        for entry in self._wal.scan():
+            if entry.epoch <= committed:
+                data = entry.data.ljust(CACHE_LINE_SIZE, b"\x00")
+                self._machine.space.write(HEAP_PHYS_BASE + entry.addr, data)
+                replayed += 1
+        self._wal.reset()
+        self._next_tx = committed + 1
+        self._alloc = PmAllocator.attach(self._tx)
+        self._reattach_structure(self._tx, self._alloc, self._cells.root)
+        return replayed
+
+    @property
+    def sfence_count(self):
+        """Ordering stalls so far."""
+        return self._flush.sfence_count
+
+    @property
+    def wal_bytes(self):
+        """Bytes of redo log written."""
+        return self._wal.stats.get("bytes")

@@ -1,0 +1,41 @@
+"""CPU cache substrate: arrays, MESI directory, coherent hierarchy, homes."""
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.coherence import Directory, DirectoryEntry
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    default_l1_config,
+    default_l2_config,
+    default_llc_config,
+)
+from repro.cache.homes import Home, HostHome
+from repro.cache.line import CacheLine, MesiState
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.stats import MissRates
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLine",
+    "Directory",
+    "DirectoryEntry",
+    "FifoPolicy",
+    "Home",
+    "HostHome",
+    "LruPolicy",
+    "MesiState",
+    "MissRates",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "default_l1_config",
+    "default_l2_config",
+    "default_llc_config",
+    "make_policy",
+]

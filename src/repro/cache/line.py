@@ -1,0 +1,52 @@
+"""Cache line data containers and MESI states.
+
+Coherence *state* is tracked centrally by the directory
+(:mod:`repro.cache.coherence`); cache arrays store only data and a dirty
+bit. This mirrors a precise snoop filter and removes the classic simulator
+bug class of L1/L2 state divergence.
+"""
+
+from repro.util.constants import CACHE_LINE_SIZE
+
+
+class MesiState:
+    """Per-core coherence states (directory-tracked)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    #: States that permit a store without a coherence transaction.
+    WRITABLE = (MODIFIED, EXCLUSIVE)
+
+
+class CacheLine:
+    """One line's worth of data resident in a cache array."""
+
+    __slots__ = ("addr", "data", "dirty")
+
+    def __init__(self, addr, data, dirty=False):
+        data = bytearray(data)
+        if len(data) != CACHE_LINE_SIZE:
+            raise ValueError("cache line must be %d bytes" % CACHE_LINE_SIZE)
+        self.addr = addr
+        self.data = data
+        self.dirty = dirty
+
+    def write(self, offset, payload):
+        """Modify bytes within the line and mark it dirty."""
+        payload = bytes(payload)
+        self.data[offset:offset + len(payload)] = payload
+        self.dirty = True
+
+    def read(self, offset, length):
+        """Read bytes within the line."""
+        return bytes(self.data[offset:offset + length])
+
+    def snapshot(self):
+        """Immutable copy of the current contents."""
+        return bytes(self.data)
+
+    def __repr__(self):
+        return "CacheLine(0x%x%s)" % (self.addr, " dirty" if self.dirty else "")

@@ -1,0 +1,8 @@
+"""Deterministic interleaved execution for concurrency testing (§3.5)."""
+
+from repro.concurrency.interleave import (
+    InterleavedRunner,
+    InterleavingAccessor,
+)
+
+__all__ = ["InterleavedRunner", "InterleavingAccessor"]

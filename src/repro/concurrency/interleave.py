@@ -1,0 +1,200 @@
+"""Deterministic interleaved execution of logical threads (paper §3.5).
+
+The paper: "PAX requires the data structure code to be thread safe if
+multiple threads access the data structure concurrently... Application
+code must ensure that persist() is only called when no thread is
+modifying the data structure, otherwise persisted snapshots may still
+include partial effects from ongoing operations."
+
+To *test* statements like that, execution must be interruptible inside an
+operation. This harness runs each logical thread in a real Python thread
+but grants execution one thread at a time, switching only at memory-access
+boundaries (every accessor read/write is a yield point). A seeded RNG
+picks who runs next, so every interleaving — including the pathological
+ones — replays exactly.
+
+Uses:
+
+* drive one structure from several cores concurrently and check the
+  result is a correct sequential outcome (the coherence machinery under
+  genuine interleaving);
+* pause the world mid-operation and call ``persist()`` — reproducing the
+  §3.5 hazard: the snapshot contains a half-applied operation.
+"""
+
+import threading
+
+from repro.errors import ReproError
+from repro.libpax.machine import CpuAccessor
+from repro.sim.rng import DeterministicRng
+from repro.util.stats import StatGroup
+
+
+class InterleavingAccessor(CpuAccessor):
+    """A per-thread accessor that yields to the scheduler on every access."""
+
+    def __init__(self, machine, core_id, scheduler, thread_name):
+        super().__init__(machine, core_id)
+        self._scheduler = scheduler
+        self._thread_name = thread_name
+
+    def read(self, addr, length):
+        self._scheduler._yield_point(self._thread_name)
+        return super().read(addr, length)
+
+    def write(self, addr, data):
+        self._scheduler._yield_point(self._thread_name)
+        super().write(addr, data)
+
+
+class _LogicalThread:
+    __slots__ = ("name", "thread", "done", "error", "turn", "started")
+
+    def __init__(self, name):
+        self.name = name
+        self.thread = None
+        self.done = False
+        self.error = None
+        self.turn = False
+        self.started = False
+
+
+class InterleavedRunner:
+    """Schedules logical threads over one machine, one access at a time."""
+
+    def __init__(self, machine, seed=1234):
+        self.machine = machine
+        self._rng = DeterministicRng(seed)
+        self._threads = {}
+        self._condition = threading.Condition()
+        self._running = False
+        self.stats = StatGroup("interleaver")
+
+    def spawn(self, name, fn, core_id=0):
+        """Register logical thread ``name`` running ``fn(accessor)``.
+
+        ``fn`` receives an :class:`InterleavingAccessor` bound to
+        ``core_id``; everything it touches through that accessor becomes
+        interruptible.
+        """
+        if name in self._threads:
+            raise ReproError("duplicate thread name %r" % (name,))
+        state = _LogicalThread(name)
+        accessor = InterleavingAccessor(self.machine, core_id, self, name)
+
+        def body():
+            try:
+                # Wait for the first turn before touching anything.
+                self._yield_point(name)
+                fn(accessor)
+            except _Cancelled:
+                pass
+            except BaseException as exc:   # surfaced to run()
+                state.error = exc
+            finally:
+                with self._condition:
+                    state.done = True
+                    state.turn = False
+                    self._condition.notify_all()
+
+        state.thread = threading.Thread(target=body, daemon=True,
+                                        name="sim-" + name)
+        self._threads[name] = state
+        return state
+
+    # -- scheduling core -----------------------------------------------------
+
+    def _yield_point(self, name):
+        state = self._threads[name]
+        with self._condition:
+            state.turn = False
+            self._condition.notify_all()
+            while not state.turn:
+                if not self._running:
+                    raise _Cancelled()
+                self._condition.wait(timeout=5.0)
+        self.stats.counter("switches").add(1)
+
+    def _runnable(self):
+        return [s for s in self._threads.values()
+                if s.started and not s.done]
+
+    def _grant_turn(self, state):
+        with self._condition:
+            state.turn = True
+            self._condition.notify_all()
+            while state.turn and not state.done:
+                self._condition.wait(timeout=5.0)
+
+    def step(self, name=None):
+        """Advance one thread by one memory access.
+
+        With ``name`` the choice is forced; otherwise the seeded RNG
+        picks among runnable threads. Returns the thread chosen, or None
+        if everything has finished.
+        """
+        if not self._running:
+            self._start_all()
+        runnable = self._runnable()
+        if name is not None:
+            state = self._threads[name]
+            if state.done:
+                return None
+        elif runnable:
+            state = self._rng.choice(runnable)
+        else:
+            return None
+        self._grant_turn(state)
+        if state.error is not None:
+            error, state.error = state.error, None
+            raise error
+        return state.name
+
+    def run(self):
+        """Interleave until every thread finishes."""
+        while self.step() is not None:
+            pass
+        self._running = False
+
+    def run_until(self, predicate, max_steps=100000):
+        """Interleave until ``predicate()`` is true; threads stay paused.
+
+        This is how a test freezes the world mid-operation: the predicate
+        inspects structure state, and when it fires every logical thread
+        is parked at a memory-access boundary.
+        """
+        steps = 0
+        while not predicate():
+            if self.step() is None:
+                raise ReproError("all threads finished before the "
+                                 "predicate held")
+            steps += 1
+            if steps > max_steps:
+                raise ReproError("predicate never held within %d steps"
+                                 % max_steps)
+        return steps
+
+    def _start_all(self):
+        self._running = True
+        for state in self._threads.values():
+            if not state.started:
+                state.started = True
+                state.thread.start()
+
+    def cancel(self):
+        """Abandon paused threads (after a simulated crash)."""
+        with self._condition:
+            self._running = False
+            self._condition.notify_all()
+        for state in self._threads.values():
+            if state.started:
+                state.thread.join(timeout=5.0)
+
+    @property
+    def all_done(self):
+        """True once every logical thread has finished."""
+        return all(s.done for s in self._threads.values())
+
+
+class _Cancelled(BaseException):
+    """Internal: unwinds a logical thread after cancel()."""

@@ -1,0 +1,27 @@
+"""The paper's contribution: the PAX persistence accelerator."""
+
+from repro.core.config import PaxConfig
+from repro.core.device import PaxDevice
+from repro.core.epochs import EpochManager
+from repro.core.hbm import HbmCache
+from repro.core.pipeline import InFlightEpoch, PersistPipeline
+from repro.core.recovery import RecoveryReport, recover_pool
+from repro.core.replication import NetworkLink, ReplicaTarget, Replicator
+from repro.core.undo import UndoLogger
+from repro.core.writeback import WriteBackCoordinator
+
+__all__ = [
+    "EpochManager",
+    "HbmCache",
+    "InFlightEpoch",
+    "NetworkLink",
+    "PaxConfig",
+    "PaxDevice",
+    "PersistPipeline",
+    "RecoveryReport",
+    "ReplicaTarget",
+    "Replicator",
+    "UndoLogger",
+    "WriteBackCoordinator",
+    "recover_pool",
+]

@@ -1,0 +1,54 @@
+"""PAX device configuration."""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class PaxConfig:
+    """Tunables of one PAX device instance.
+
+    Defaults model the paper's target: an FPGA/ASIC device with a sizeable
+    HBM cache of PM, a bounded SRAM write-back buffer, and asynchronous
+    undo logging that drains at device speed. Every knob is swept by an
+    ablation benchmark (DESIGN.md §4).
+    """
+
+    #: Capacity of the on-device HBM cache of PM, in cache lines.
+    #: 0 disables the HBM cache entirely (ablation abl-hbm).
+    hbm_lines: int = 16384
+
+    #: Capacity of the modified-line buffer, in cache lines. Overflow
+    #: forces evictions gated on undo-entry durability (paper §3.3).
+    writeback_buffer_lines: int = 4096
+
+    #: Rate at which the device drains buffered undo entries to the PM log
+    #: region, bytes/second of log written.
+    log_drain_bps: float = 2e9
+
+    #: Rate of background write-back of buffered modified lines to PM.
+    writeback_drain_bps: float = 2e9
+
+    #: Log each line at most once per epoch. Safe (rollback only needs the
+    #: epoch-start value) and what the paper implies; ablatable.
+    dedup_log_entries: bool = True
+
+    #: Prefer evicting buffered lines whose undo entries are already
+    #: durable, avoiding a forced synchronous log pump (paper §3.3).
+    prefer_durable_eviction: bool = True
+
+    #: Fixed device pipeline cost charged per message (FPGA/ASIC service).
+    device_processing_ns: float = 15.0
+
+    def validate(self):
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.hbm_lines < 0:
+            raise ConfigError("hbm_lines cannot be negative")
+        if self.writeback_buffer_lines <= 0:
+            raise ConfigError("write-back buffer needs at least one line")
+        if self.log_drain_bps <= 0 or self.writeback_drain_bps <= 0:
+            raise ConfigError("drain rates must be positive")
+        if self.device_processing_ns < 0:
+            raise ConfigError("processing cost cannot be negative")
+        return self

@@ -1,0 +1,301 @@
+"""The PAX device (paper §3, Figure 1).
+
+Homes the vPM physical range. Servicing:
+
+* ``RdShared`` — proxy the line from (newest first) the write-back buffer,
+  the HBM cache, or PM; grant S.
+* ``RdOwn`` — the host announces an impending store. Capture the line's
+  PM contents as an undo record (asynchronously durable), invalidate our
+  HBM copy (the host will hold the only current version), return data if
+  the host needs it, and ack immediately — the host never waits on
+  logging.
+* ``DirtyEvict`` — buffer the modified line; PM write-back is gated on the
+  line's undo record durability.
+* ``persist()`` — the §3.3 group commit: snoop every line logged this
+  epoch out of host caches (device-to-host SnpData), pump the undo log to
+  durability, drain the write-back buffer to PM, then atomically bump the
+  epoch cell. Returns the host-visible latency so the machine can charge
+  the calling thread.
+
+Background work (log drain, gated write-back) runs off the simulated
+clock: the machine registers :meth:`background_tick` as a clock callback,
+so device-side asynchrony advances whenever host time does.
+"""
+
+from repro.core.config import PaxConfig
+from repro.core.epochs import EpochManager
+from repro.core.hbm import HbmCache
+from repro.core.undo import UndoLogger
+from repro.core.writeback import WriteBackCoordinator
+from repro.cxl import messages as msg
+from repro.errors import AddressError, ProtocolError
+from repro.pm.log import UndoLogRegion
+from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.stats import StatGroup
+
+
+class PaxDevice:
+    """A persistence accelerator homing one pool's vPM range."""
+
+    def __init__(self, pool, latency_model, config=None, vpm_base=None):
+        self.pool = pool
+        self.config = (config or PaxConfig()).validate()
+        self._lat = latency_model
+        #: Physical base address the pool's data region is exposed at.
+        self.vpm_base = vpm_base if vpm_base is not None else pool.data_base
+        self.region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
+        self.epochs = EpochManager(pool, self.region)
+        self.undo = UndoLogger(self.region, self.config,
+                               self.epochs.current_epoch)
+        self.hbm = HbmCache(self.config.hbm_lines)
+        self.writeback = WriteBackCoordinator(pool, self.hbm, self.undo,
+                                              self.config)
+        from repro.core.pipeline import PersistPipeline
+        self.pipeline = PersistPipeline(self)
+        self.stats = StatGroup("pax_device")
+
+    # -- address translation ---------------------------------------------------
+
+    def to_pool(self, phys_addr):
+        """Translate a vPM physical address to a pool-relative offset."""
+        offset = phys_addr - self.vpm_base + self.pool.data_base
+        if not self.pool.contains_data(offset, CACHE_LINE_SIZE):
+            raise AddressError(
+                "physical 0x%x is outside this device's vPM range" % phys_addr)
+        return offset
+
+    def to_phys(self, pool_addr):
+        """Translate a pool-relative offset back to a vPM physical address."""
+        return pool_addr - self.pool.data_base + self.vpm_base
+
+    @property
+    def vpm_size(self):
+        """Bytes of vPM exposed (the pool data region)."""
+        return self.pool.data_size
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle_message(self, message):
+        """Service one host request; returns ``(response, service_ns)``."""
+        if isinstance(message, msg.RdShared):
+            return self._rd_shared(message)
+        if isinstance(message, msg.RdOwn):
+            return self._rd_own(message)
+        if isinstance(message, msg.DirtyEvict):
+            return self._dirty_evict(message)
+        if isinstance(message, msg.CleanEvict):
+            self.stats.counter("clean_evicts").add(1)
+            return msg.Go(message.addr), self.config.device_processing_ns
+        if isinstance(message, msg.MemRd):
+            return self._mem_rd(message)
+        if isinstance(message, msg.MemWr):
+            return self._mem_wr(message)
+        raise ProtocolError("PAX cannot handle %r" % (message,))
+
+    # -- CXL.mem mode (paper §6: less coherence visibility) -----------------
+
+    def _mem_rd(self, message):
+        """CXL.mem read: plain data, no coherence state granted."""
+        pool_addr = self.to_pool(message.addr)
+        data, media_ns = self._lookup_line(pool_addr)
+        self.hbm.put(pool_addr, data)
+        self.stats.counter("mem_rd").add(1)
+        service = self.config.device_processing_ns + media_ns
+        return msg.DataResponse(message.addr, data, "S"), service
+
+    def _mem_wr(self, message):
+        """CXL.mem write: the device's *only* interposition point.
+
+        Without coherence visibility there is no RdOwn to log at, so the
+        pre-image is captured here, at write-back time — the first write
+        of a line per epoch still records the epoch-start PM value (any
+        earlier PM write of the line this epoch would itself have logged
+        first, and dedup keeps the original record).
+        """
+        pool_addr = self.to_pool(message.addr)
+        self.stats.counter("mem_wr").add(1)
+        if self.undo.seq_for(pool_addr) is None:
+            old = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
+            self.undo.note_modification(pool_addr, old)
+            self.stats.counter("lines_logged").add(1)
+        seq = self.undo.seq_for(pool_addr)
+        pumped = self.writeback.buffer_line(pool_addr, message.data, seq)
+        service = self.config.device_processing_ns
+        if pumped:
+            service += pumped * 1e9 / self.config.log_drain_bps
+            self.stats.counter("stalled_evicts").add(1)
+        return msg.Go(message.addr), service
+
+    def persist_mem(self, clock=None):
+        """CXL.mem persist: the host has already CLWB'd its dirty lines
+        (no device-to-host snoops exist to pull them); drain and commit.
+        """
+        total_ns = 0.0
+
+        def charge(step_ns):
+            nonlocal total_ns
+            total_ns += step_ns
+            if clock is not None:
+                clock.advance(step_ns)
+
+        charge(self.pipeline.complete_all())
+        touched = self.undo.touched_lines()
+        pumped_bytes, lines_written = self.writeback.flush_all()
+        charge(pumped_bytes * 1e9 / self.config.log_drain_bps)
+        charge(lines_written * self._lat.media.pm_write_ns)
+        self.epochs.commit(len(touched))
+        self.undo.begin_epoch(self.epochs.current_epoch)
+        charge(self._lat.media.pm_write_ns)
+        self.stats.counter("persists").add(1)
+        self.stats.histogram("persist_ns").record(total_ns)
+        return total_ns
+
+    def _lookup_line(self, pool_addr):
+        """Newest device-visible value: buffer > HBM > PM. Returns (data, ns)."""
+        data = self.writeback.peek(pool_addr)
+        if data is not None:
+            self.stats.counter("buffer_serves").add(1)
+            return data, 0.0
+        data = self.hbm.get(pool_addr)
+        if data is not None:
+            return data, self._lat.media.hbm_ns
+        data = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
+        self.stats.counter("pm_line_reads").add(1)
+        return data, self._lat.media.pm_read_ns
+
+    def _rd_shared(self, message):
+        pool_addr = self.to_pool(message.addr)
+        data, media_ns = self._lookup_line(pool_addr)
+        self.hbm.put(pool_addr, data)
+        self.stats.counter("rd_shared").add(1)
+        service = self.config.device_processing_ns + media_ns
+        return msg.DataResponse(message.addr, data, "S"), service
+
+    def _rd_own(self, message):
+        pool_addr = self.to_pool(message.addr)
+        self.stats.counter("rd_own").add(1)
+        # Undo-log the epoch-start value: the newest *device-visible*
+        # value. With blocking persists that always equals the PM copy;
+        # with pipelined persists (core.pipeline) the previous epoch's
+        # value may still sit in the write-back buffer, and it — not the
+        # stale PM bytes — is what rollback must restore.
+        if self.undo.seq_for(pool_addr) is None:
+            old = self.writeback.peek(pool_addr)
+            if old is None:
+                old = self.hbm.peek(pool_addr)
+            if old is None:
+                old = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
+            self.undo.note_modification(pool_addr, old)
+            self.stats.counter("lines_logged").add(1)
+        service = self.config.device_processing_ns
+        if message.need_data:
+            data, media_ns = self._lookup_line(pool_addr)
+            service += media_ns
+        else:
+            data = None
+        # The host will hold the only up-to-date copy; our HBM mirror is
+        # about to go stale.
+        self.hbm.invalidate(pool_addr)
+        if data is not None:
+            return msg.DataResponse(message.addr, data, "M"), service
+        return msg.Go(message.addr, "M"), service
+
+    def _dirty_evict(self, message):
+        pool_addr = self.to_pool(message.addr)
+        seq = self.undo.seq_for(pool_addr)
+        if seq is None:
+            # Invariant: a dirty vPM line implies a RdOwn (and thus a log
+            # record) earlier in this same epoch — persist() downgrades
+            # every modified line before committing.
+            raise ProtocolError(
+                "dirty eviction of 0x%x, but the line was never logged "
+                "this epoch" % message.addr)
+        pumped = self.writeback.buffer_line(pool_addr, message.data, seq)
+        self.stats.counter("dirty_evicts").add(1)
+        service = self.config.device_processing_ns
+        if pumped:
+            # A forced log pump stalls the eviction path synchronously.
+            service += pumped * 1e9 / self.config.log_drain_bps
+            self.stats.counter("stalled_evicts").add(1)
+        return msg.Go(message.addr), service
+
+    # -- persist: the group commit (paper §3.3) ------------------------------------
+
+    def persist(self, snoop_port, clock=None):
+        """Commit a crash-consistent snapshot; returns host-blocking ns.
+
+        ``snoop_port`` is a :class:`~repro.cxl.port.HostSnoopPort` bound to
+        the host hierarchy. The application must guarantee no thread is
+        mutating the structure during the call (paper §3.5).
+
+        When ``clock`` is given, time is charged *as the steps happen* —
+        the snoops are sequential round trips, so link backlog drains
+        between them and background device work overlaps the commit —
+        and the caller must not advance the clock again.
+        """
+        total_ns = 0.0
+
+        def charge(step_ns):
+            nonlocal total_ns
+            total_ns += step_ns
+            if clock is not None:
+                clock.advance(step_ns)
+
+        # A blocking persist is a barrier: retire any pipelined epochs
+        # first so the epoch sequence stays strictly ordered.
+        charge(self.pipeline.complete_all())
+        touched = self.undo.touched_lines()
+        # 1. Pull every possibly-modified line out of host caches.
+        for pool_addr in touched:
+            fresh, link_ns = snoop_port.snoop_shared(self.to_phys(pool_addr))
+            charge(link_ns)
+            if fresh is not None:
+                seq = self.undo.seq_for(pool_addr)
+                self.writeback.buffer_line(pool_addr, fresh, seq)
+        # 2+3. Make every undo record durable, then write all buffered
+        # lines to PM (flush_all enforces that order internally).
+        pumped_bytes, lines_written = self.writeback.flush_all()
+        charge(pumped_bytes * 1e9 / self.config.log_drain_bps)
+        charge(lines_written * self._lat.media.pm_write_ns)
+        # 4. Atomic epoch publish.
+        self.epochs.commit(len(touched))
+        self.undo.begin_epoch(self.epochs.current_epoch)
+        charge(self._lat.media.pm_write_ns)
+        self.stats.counter("persists").add(1)
+        self.stats.histogram("persist_ns").record(total_ns)
+        return total_ns
+
+    def persist_async(self, snoop_port, clock=None):
+        """Pipelined persist (paper §6 extension; see core.pipeline).
+
+        Blocks the host only for the snoop phase and returns the
+        in-flight epoch handle plus the blocking ns; the commit completes
+        in the background. ``handle.committed`` flips once durable.
+        """
+        flight, blocking_ns = self.pipeline.begin(snoop_port, clock=clock)
+        self.pipeline.poll()
+        self.stats.counter("persist_asyncs").add(1)
+        return flight, blocking_ns
+
+    # -- background asynchrony ---------------------------------------------------
+
+    def background_tick(self, prev_ns, now_ns):
+        """Clock callback: drain log records and ready write-backs."""
+        delta_s = (now_ns - prev_ns) / 1e9
+        self.undo.drain_budget(self.config.log_drain_bps * delta_s)
+        self.writeback.drain_budget(self.config.writeback_drain_bps * delta_s)
+        self.pipeline.poll()
+
+    # -- crash ---------------------------------------------------------------------
+
+    def on_crash(self):
+        """Lose all volatile device state (SRAM buffers, HBM, pending log)."""
+        self.undo.on_crash()
+        self.writeback.on_crash()
+        self.hbm.clear()
+        self.pipeline.on_crash()
+        self.stats.counter("crashes").add(1)
+
+    def __repr__(self):
+        return "PaxDevice(epoch=%d, hbm=%d lines)" % (
+            self.epochs.current_epoch, len(self.hbm))

@@ -1,0 +1,49 @@
+"""Epoch lifecycle: numbering, commit, and per-epoch statistics.
+
+An epoch is the interval between two ``persist()`` calls. The recovered
+state of a pool is always the snapshot of the highest *committed* epoch;
+the epoch in progress is always ``committed + 1``. Committing is a single
+atomic 8-byte write of the epoch number into the pool superblock, after
+which the undo log's contents are dead and the region is rewound
+(paper §3.3).
+"""
+
+from repro.errors import ProtocolError
+from repro.util.stats import StatGroup
+
+
+class EpochManager:
+    """Tracks the open epoch and performs the atomic commit step."""
+
+    def __init__(self, pool, region):
+        self._pool = pool
+        self._region = region
+        self.current_epoch = pool.committed_epoch + 1
+        self.stats = StatGroup("epochs")
+
+    @property
+    def committed_epoch(self):
+        """The durable snapshot's epoch number."""
+        return self._pool.committed_epoch
+
+    def commit(self, lines_in_epoch):
+        """Atomically publish the open epoch; open the next one.
+
+        Callers must have already made every undo record durable and
+        written every modified line of the epoch back to PM.
+        """
+        if self.current_epoch != self._pool.committed_epoch + 1:
+            raise ProtocolError(
+                "epoch sequence out of sync: open=%d committed=%d"
+                % (self.current_epoch, self._pool.committed_epoch))
+        self._pool.commit_epoch(self.current_epoch)
+        # The log's records all belong to the epoch just committed (or
+        # older); rewinding is safe and bounds log space at one epoch.
+        self._region.reset()
+        self.current_epoch += 1
+        self.stats.counter("commits").add(1)
+        self.stats.histogram("lines_per_epoch").record(lines_in_epoch)
+
+    def resync_after_recovery(self):
+        """Re-read the committed epoch after a crash + recovery."""
+        self.current_epoch = self._pool.committed_epoch + 1

@@ -1,0 +1,78 @@
+"""Crash recovery (paper §3.4).
+
+After a crash, the pool's durable bytes are: the PM data region (possibly
+containing partially-applied epoch N+1 writes), the durable prefix of the
+undo log, and the committed epoch number N. Recovery rolls back every
+durable undo record tagged with an epoch newer than N, newest first, which
+restores the data region to exactly the epoch-N snapshot. Records that
+never became durable correspond to modifications that never reached PM
+(the write-back gate guarantees it), so nothing is missed.
+
+Recovery is performed by ``libpax`` on ``map_pool`` — the application
+cannot tell a recovered pool from a cleanly closed one.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import RecoveryError
+from repro.pm.log import UndoLogRegion
+from repro.util.constants import CACHE_LINE_SIZE
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did, for logging and tests."""
+
+    committed_epoch: int
+    records_scanned: int = 0
+    records_rolled_back: int = 0
+    lines_restored: List[int] = field(default_factory=list)
+
+    @property
+    def was_dirty(self):
+        """True if the crash interrupted an uncommitted epoch."""
+        return self.records_rolled_back > 0
+
+
+def recover_pool(pool):
+    """Roll the pool's data region back to its last committed snapshot.
+
+    Returns a :class:`RecoveryReport`. Idempotent: running it twice (e.g.
+    a crash during recovery, which only re-writes old values) is safe
+    because undo records are only discarded after the rollback completes.
+    """
+    committed = pool.committed_epoch
+    region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
+    report = RecoveryReport(committed_epoch=committed)
+    to_undo = []
+    previous_epoch = 0
+    for entry in region.scan():
+        report.records_scanned += 1
+        if entry.epoch < previous_epoch:
+            raise RecoveryError(
+                "undo records out of epoch order (%d after %d); the log "
+                "is append-only per epoch" % (entry.epoch, previous_epoch))
+        previous_epoch = entry.epoch
+        if entry.epoch <= committed:
+            # Stale record from an epoch that committed before the crash
+            # (possible because the log region is rewound lazily — only
+            # at a quiescent point, or at a blocking commit). Dead.
+            continue
+        # With pipelined persists (core.pipeline) several uncommitted
+        # epochs may be present; all of them roll back, newest first.
+        if not pool.contains_data(entry.addr, CACHE_LINE_SIZE):
+            raise RecoveryError(
+                "undo record targets 0x%x outside the data region"
+                % entry.addr)
+        to_undo.append(entry)
+    # Newest-first rollback: the oldest record for a line holds the
+    # epoch-start value and must win.
+    for entry in reversed(to_undo):
+        data = entry.data.ljust(CACHE_LINE_SIZE, b"\x00")
+        pool.device.write(entry.addr, data)
+        report.records_rolled_back += 1
+        report.lines_restored.append(entry.addr)
+    # Only now is it safe to discard the log.
+    region.reset()
+    return report

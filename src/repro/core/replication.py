@@ -1,0 +1,205 @@
+"""Epoch replication to remote memory (paper §6).
+
+"Different applications can use our techniques e.g., to enable efficient
+transactions within a cluster of machines by connecting FPGAs over a
+high-speed network or providing fault tolerance via remote memory."
+
+This module implements the fault-tolerance half: every committed epoch's
+modified lines are shipped to a *replica pool* — another PM device,
+reachable over a network link — which applies them and advances its own
+epoch cell. Fail over by opening the replica: it holds exactly the last
+replicated snapshot.
+
+Modes:
+
+* ``sync`` — ``persist()`` returns only after the replica acknowledges;
+  the committed snapshot is durable on two machines, at the price of a
+  network round trip plus line transfer per epoch.
+* ``async`` — epochs queue at the primary's device and drain in the
+  background at link speed; failover may lose the trailing epochs (the
+  replication lag), never a torn one.
+
+Simulation scope (documented substitution): the replica applies an epoch
+batch atomically — a production remote agent would stage the batch and
+flip its epoch cell last, exactly like the local commit protocol; the
+network agent and its staging buffer are abstracted into
+:meth:`ReplicaTarget.apply`.
+"""
+
+from collections import deque
+
+from repro.errors import ConfigError, ProtocolError
+from repro.sim.bandwidth import BandwidthLimiter
+from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.stats import StatGroup
+
+#: Datacenter-network defaults: ~2 us RTT, 25 Gb/s effective.
+DEFAULT_RTT_NS = 2000.0
+DEFAULT_BW_BPS = 3.125e9
+
+
+class NetworkLink:
+    """Round-trip latency + bandwidth between primary and replica."""
+
+    def __init__(self, clock, rtt_ns=DEFAULT_RTT_NS,
+                 bytes_per_second=DEFAULT_BW_BPS):
+        if rtt_ns < 0:
+            raise ConfigError("RTT cannot be negative")
+        self.rtt_ns = rtt_ns
+        self._limiter = BandwidthLimiter("replication", clock,
+                                         bytes_per_second)
+        self.stats = StatGroup("network_link")
+
+    def ship(self, payload_bytes):
+        """Cost (ns) of shipping ``payload_bytes`` and getting an ack."""
+        delay = self._limiter.submit(payload_bytes)
+        transfer = self._limiter.service_time_ns(payload_bytes)
+        self.stats.counter("messages").add(1)
+        self.stats.counter("bytes").add(payload_bytes)
+        return self.rtt_ns + delay + transfer
+
+    def transfer_ns(self, payload_bytes):
+        """Pure wire time for ``payload_bytes`` (async pacing, no queue)."""
+        return self.rtt_ns + self._limiter.service_time_ns(payload_bytes)
+
+
+class ReplicaTarget:
+    """The remote pool that receives epoch batches."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.stats = StatGroup("replica")
+
+    def apply(self, epoch, lines, root_ptr=None, root_kind=None):
+        """Apply one epoch batch: ``{pool_addr: line_bytes}``, then commit.
+
+        Epochs must arrive in order; gaps mean the wire protocol broke.
+        ``root_ptr``/``root_kind`` mirror the primary's superblock cells
+        so a failover can find the structure.
+        """
+        expected = self.pool.committed_epoch + 1
+        if epoch != expected:
+            raise ProtocolError(
+                "replica expected epoch %d, got %d" % (expected, epoch))
+        for pool_addr, data in lines.items():
+            self.pool.device.write(pool_addr, data)
+        if root_ptr is not None:
+            self.pool.root_ptr = root_ptr
+        if root_kind is not None:
+            self.pool.root_kind = root_kind
+        self.pool.commit_epoch(epoch)
+        self.stats.counter("epochs_applied").add(1)
+        self.stats.counter("lines_applied").add(len(lines))
+
+    @property
+    def replicated_epoch(self):
+        """Epoch of the newest snapshot the replica holds."""
+        return self.pool.committed_epoch
+
+
+class Replicator:
+    """Ships committed epochs from a primary machine to a replica."""
+
+    MODES = ("sync", "async")
+
+    def __init__(self, machine, replica, link=None, mode="sync"):
+        if mode not in self.MODES:
+            raise ConfigError("replication mode must be sync or async")
+        if replica.pool.data_base != machine.pool.data_base \
+                or replica.pool.data_size != machine.pool.data_size:
+            raise ConfigError(
+                "replica pool layout differs from the primary's; format "
+                "both with identical sizes")
+        self.machine = machine
+        self.replica = replica
+        self.link = link or NetworkLink(machine.clock)
+        self.mode = mode
+        self._queue = deque()        # (epoch, {pool_addr: bytes})
+        self._wrapped_persist = machine.persist
+        machine.persist = self._persist_and_replicate
+        machine.clock.on_advance(self._background_ship)
+        self._net_busy_until_ns = 0.0
+        self.stats = StatGroup("replicator")
+
+    # -- capture -------------------------------------------------------------
+
+    def _persist_and_replicate(self):
+        # The touched set must be captured before persist clears it; the
+        # line *values* must be read after persist has flushed them to PM.
+        touched = list(self.machine.device.undo.touched_lines())
+        latency = self._wrapped_persist()
+        pool = self.machine.pool
+        lines = {addr: pool.device.read(addr, CACHE_LINE_SIZE)
+                 for addr in touched}
+        batch = (pool.committed_epoch, lines, pool.root_ptr, pool.root_kind)
+        if self.mode == "sync":
+            ship_ns = self._ship(batch)
+            self.machine.clock.advance(ship_ns)
+            latency += ship_ns
+        else:
+            self._queue.append(batch + (self.machine.clock.now_ns,))
+            self.stats.counter("epochs_queued").add(1)
+        return latency
+
+    # -- shipping ---------------------------------------------------------------
+
+    def _payload_bytes(self, lines):
+        return 64 + len(lines) * (8 + CACHE_LINE_SIZE)
+
+    def _ship(self, batch):
+        epoch, lines, root_ptr, root_kind = batch
+        ship_ns = self.link.ship(self._payload_bytes(lines))
+        self.replica.apply(epoch, lines, root_ptr, root_kind)
+        self.stats.counter("epochs_shipped").add(1)
+        return ship_ns
+
+    def _background_ship(self, _prev_ns, now_ns):
+        """Async mode: drain queued epochs at network speed.
+
+        A batch completes only when the wire has had ``transfer_ns`` of
+        simulated time for it; the network is a serial resource, so
+        batches pipeline back to back.
+        """
+        while self._queue:
+            epoch, lines, root_ptr, root_kind, enqueued_ns = self._queue[0]
+            cost = self.link.transfer_ns(self._payload_bytes(lines))
+            start = max(self._net_busy_until_ns, enqueued_ns)
+            if start + cost > now_ns:
+                return               # still in flight
+            self._queue.popleft()
+            self.replica.apply(epoch, lines, root_ptr, root_kind)
+            self._net_busy_until_ns = start + cost
+            self.stats.counter("epochs_shipped").add(1)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def lag_epochs(self):
+        """Epochs committed locally but not yet on the replica."""
+        return (self.machine.pool.committed_epoch
+                - self.replica.replicated_epoch)
+
+    def failover(self, **machine_kwargs):
+        """Bring the replica online as a new primary.
+
+        Returns a fresh :class:`~repro.libpax.pool.PaxPool` over the
+        replica's PM device, holding exactly the last replicated
+        snapshot. (The old primary is presumed dead; its machine is left
+        untouched.)
+        """
+        from repro.libpax.machine import PaxMachine
+        from repro.libpax.pool import PaxPool
+        machine = PaxMachine(pm_device=self.replica.pool.device,
+                             **machine_kwargs)
+        self.stats.counter("failovers").add(1)
+        return PaxPool(machine)
+
+    def flush(self):
+        """Ship everything queued (async barrier); returns epochs shipped."""
+        shipped = 0
+        while self._queue:
+            batch = self._queue.popleft()
+            ship_ns = self._ship(batch[:4])
+            self.machine.clock.advance(ship_ns)
+            shipped += 1
+        return shipped

@@ -1,0 +1,17 @@
+"""Crash injection and post-recovery consistency checking."""
+
+from repro.crashtest.checker import (
+    SnapshotTracker,
+    check_prefix_atomic,
+    verify_map_integrity,
+)
+from repro.crashtest.injector import CrashInjector, CrashSignal, count_stores
+
+__all__ = [
+    "CrashInjector",
+    "CrashSignal",
+    "SnapshotTracker",
+    "check_prefix_atomic",
+    "count_stores",
+    "verify_map_integrity",
+]

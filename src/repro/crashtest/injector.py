@@ -1,0 +1,80 @@
+"""Crash injection at arbitrary store boundaries.
+
+Crash consistency is only as good as the worst crash point, so the
+injector cuts execution at an exact *store count* — including mid-way
+through a ``put()`` that has linked half a node, or mid-resize — via the
+machine's ``store_hook``. Hypothesis drives the crash point in the
+property tests; the ablation benchmarks sweep it.
+"""
+
+from repro.errors import ReproError
+from repro.util.stats import StatGroup
+
+
+class CrashSignal(ReproError):
+    """Raised by the hook to unwind out of the interrupted operation."""
+
+
+class CrashInjector:
+    """Arms a machine to crash after N further stores."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._remaining = None
+        self.stats = StatGroup("crash_injector")
+
+    def arm(self, stores_until_crash):
+        """Crash after ``stores_until_crash`` more CPU stores."""
+        if stores_until_crash < 0:
+            raise ReproError("crash point cannot be negative")
+        self._remaining = stores_until_crash
+        self.machine.store_hook = self._hook
+
+    def disarm(self):
+        """Remove the hook without crashing."""
+        self._remaining = None
+        self.machine.store_hook = None
+
+    def _hook(self, _addr, _data):
+        if self._remaining is None:
+            return
+        if self._remaining == 0:
+            self.disarm()
+            raise CrashSignal("injected crash")
+        self._remaining -= 1
+
+    def run(self, operation):
+        """Run ``operation()``; if the armed crash fires, crash the machine.
+
+        Returns True if the crash fired (machine is now crashed), False if
+        the operation completed first (hook disarmed).
+        """
+        try:
+            operation()
+        except CrashSignal:
+            self.machine.crash()
+            self.stats.counter("crashes_fired").add(1)
+            return True
+        self.disarm()
+        self.stats.counter("completed").add(1)
+        return False
+
+
+def count_stores(machine, operation):
+    """Run ``operation()`` counting CPU stores; returns the count.
+
+    Use this to size the crash-point sweep: a follow-up run of the same
+    deterministic operation can then be cut at every store index.
+    """
+    counter = {"stores": 0}
+
+    def hook(_addr, _data):
+        counter["stores"] += 1
+
+    previous = machine.store_hook
+    machine.store_hook = hook
+    try:
+        operation()
+    finally:
+        machine.store_hook = previous
+    return counter["stores"]

@@ -1,0 +1,35 @@
+"""CXL.cache substrate: message types, link model, adapter, protocol ports."""
+
+from repro.cxl.adapter import BusOp, CxlAdapter
+from repro.cxl.link import CxlLink
+from repro.cxl.messages import (
+    CleanEvict,
+    DataResponse,
+    DirtyEvict,
+    Go,
+    Message,
+    RdOwn,
+    RdShared,
+    SnpData,
+    SnpInv,
+    SnpResponse,
+)
+from repro.cxl.port import DevicePort, HostSnoopPort
+
+__all__ = [
+    "BusOp",
+    "CleanEvict",
+    "CxlAdapter",
+    "CxlLink",
+    "DataResponse",
+    "DevicePort",
+    "DirtyEvict",
+    "Go",
+    "HostSnoopPort",
+    "Message",
+    "RdOwn",
+    "RdShared",
+    "SnpData",
+    "SnpInv",
+    "SnpResponse",
+]

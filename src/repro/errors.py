@@ -1,0 +1,50 @@
+"""Exception hierarchy for the PAX reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch one base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AddressError(ReproError):
+    """An access targeted an unmapped, misaligned, or out-of-range address."""
+
+
+class ProtectionError(ReproError):
+    """A store hit a read-only page (used by the mprotect baseline)."""
+
+    def __init__(self, addr, message=None):
+        self.addr = addr
+        super().__init__(message or "write to protected page at 0x%x" % addr)
+
+
+class PoolError(ReproError):
+    """A pool file is missing, corrupt, or version-incompatible."""
+
+
+class LogError(ReproError):
+    """The undo log is corrupt or an append exceeded its capacity."""
+
+
+class AllocationError(ReproError):
+    """The persistent allocator could not satisfy a request."""
+
+
+class ProtocolError(ReproError):
+    """A coherence/CXL message violated the protocol state machine."""
+
+
+class CrashedError(ReproError):
+    """An operation was attempted on a machine that has simulated a crash."""
+
+
+class RecoveryError(ReproError):
+    """Recovery could not restore a consistent snapshot."""
+
+
+class ConfigError(ReproError):
+    """A component was constructed with invalid configuration."""

@@ -1,0 +1,25 @@
+"""libpax: the user-facing library + the simulated machines behind it."""
+
+from repro.libpax.allocator import PmAllocator, SIZE_CLASSES
+from repro.libpax.machine import (
+    CpuAccessor,
+    HEAP_PHYS_BASE,
+    HostMachine,
+    PaxHome,
+    PaxMachine,
+)
+from repro.libpax.persistent import Persistent
+from repro.libpax.pool import PaxPool, map_pool
+
+__all__ = [
+    "CpuAccessor",
+    "HEAP_PHYS_BASE",
+    "HostMachine",
+    "PaxHome",
+    "PaxMachine",
+    "PaxPool",
+    "Persistent",
+    "PmAllocator",
+    "SIZE_CLASSES",
+    "map_pool",
+]

@@ -1,0 +1,177 @@
+"""The persistent heap allocator.
+
+Data structures allocate nodes from this allocator; it hands out offsets
+in *structure space* — the pool data region viewed as ``[0, size)`` with
+offset 0 reserved as NULL. All of the allocator's own metadata (bump
+pointer, free-list heads, block headers) lives in that same space and is
+accessed through the same :class:`~repro.mem.accessor.MemoryAccessor` as
+the structures themselves.
+
+That choice is load-bearing for the paper's black-box claim: under PAX,
+allocator metadata writes are just more stores to vPM, so allocation state
+is captured by the same undo-logged snapshot as the structure. A crash
+rolls back half-completed allocations along with the inserts that made
+them — no separate allocator recovery pass (compare PMDK, which needs
+one).
+
+Design: segregated free lists over a bump region.
+
+* Size classes from 16 B to 4 KiB; larger requests round up to pages.
+* ``free`` pushes the block onto its class list (the next pointer is
+  stored in the block's first word).
+* No coalescing — classes never change, so fragmentation is bounded by
+  the working set of classes, which is fine for structure nodes.
+
+Header layout (at offset 64, structure space)::
+
+    magic  u64   ALLOC_MAGIC
+    bump   u64   next never-allocated offset
+    limit  u64   end of the arena
+    heads  u64[NUM_CLASSES]  free-list heads (0 = empty)
+"""
+
+from repro.errors import AllocationError
+from repro.mem.layout import StructLayout
+from repro.util.bitops import align_up
+from repro.util.constants import CACHE_LINE_SIZE, NULL_ADDR
+from repro.util.stats import StatGroup
+
+ALLOC_MAGIC = 0x5041585F414C4C43     # "PAX_ALLC"
+
+#: Block size classes. Every allocation is rounded up to one of these (or
+#: page-aligned above the largest).
+SIZE_CLASSES = (16, 24, 32, 48, 64, 96, 128, 192, 256,
+                384, 512, 1024, 2048, 4096)
+
+#: Structure-space offset of the allocator header (offset 0..63 reserved
+#: so that 0 can be NULL).
+HEADER_OFFSET = CACHE_LINE_SIZE
+
+_LAYOUT = StructLayout("alloc_header", [
+    ("magic", "u64"),
+    ("bump", "u64"),
+    ("limit", "u64"),
+    ("heads", "u64:%d" % len(SIZE_CLASSES)),
+])
+
+#: First offset available for user data, line-aligned past the header.
+ARENA_OFFSET = align_up(HEADER_OFFSET + _LAYOUT.size, CACHE_LINE_SIZE)
+
+
+def class_for_size(size):
+    """Return ``(class_index, block_size)`` for a request of ``size`` bytes.
+
+    Requests above the largest class return ``(None, page-rounded size)``.
+    """
+    if size <= 0:
+        raise AllocationError("allocation size must be positive")
+    for index, block in enumerate(SIZE_CLASSES):
+        if size <= block:
+            return index, block
+    return None, align_up(size, 4096)
+
+
+class PmAllocator:
+    """Segregated-fit allocator with persistent metadata."""
+
+    def __init__(self, mem, header_view):
+        self._mem = mem
+        self._hdr = header_view
+        self.stats = StatGroup("allocator")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, mem, arena_size):
+        """Format a fresh allocator over structure space ``[0, arena_size)``."""
+        if arena_size <= ARENA_OFFSET + CACHE_LINE_SIZE:
+            raise AllocationError("arena too small: %d bytes" % arena_size)
+        view = _LAYOUT.view(mem, HEADER_OFFSET)
+        view.set("bump", ARENA_OFFSET)
+        view.set("limit", arena_size)
+        for index in range(len(SIZE_CLASSES)):
+            view.set("heads", NULL_ADDR, index=index)
+        # Magic written last: an attach seeing the magic sees a complete
+        # header.
+        view.set("magic", ALLOC_MAGIC)
+        return cls(mem, view)
+
+    @classmethod
+    def attach(cls, mem):
+        """Bind to an allocator previously created in this space."""
+        view = _LAYOUT.view(mem, HEADER_OFFSET)
+        if view.get("magic") != ALLOC_MAGIC:
+            raise AllocationError("no allocator header in this pool")
+        return cls(mem, view)
+
+    @classmethod
+    def create_or_attach(cls, mem, arena_size):
+        """Attach if formatted, else create."""
+        view = _LAYOUT.view(mem, HEADER_OFFSET)
+        if view.get("magic") == ALLOC_MAGIC:
+            return cls(mem, view)
+        return cls.create(mem, arena_size)
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, size):
+        """Allocate ``size`` bytes; returns a structure-space offset.
+
+        The returned block is NOT zeroed (like malloc); callers initialize
+        every field they use. (Zeroing would double the store traffic that
+        the benchmarks measure.)
+        """
+        index, block_size = class_for_size(size)
+        self.stats.counter("allocs").add(1)
+        if index is not None:
+            head = self._hdr.get("heads", index=index)
+            if head != NULL_ADDR:
+                next_free = self._mem.read_u64(head)
+                self._hdr.set("heads", next_free, index=index)
+                self.stats.counter("freelist_hits").add(1)
+                return head
+        return self._bump(block_size)
+
+    def _bump(self, block_size):
+        bump = self._hdr.get("bump")
+        aligned = align_up(bump, 16)
+        new_bump = aligned + block_size
+        if new_bump > self._hdr.get("limit"):
+            raise AllocationError(
+                "pool heap exhausted: need %d bytes, %d remain"
+                % (block_size, self._hdr.get("limit") - aligned))
+        self._hdr.set("bump", new_bump)
+        return aligned
+
+    def free(self, offset, size):
+        """Return a block to its size-class free list.
+
+        Blocks above the largest class are leaked (bump-only); acceptable
+        for the structures in this package, which free only nodes.
+        """
+        if offset == NULL_ADDR:
+            return
+        index, _block = class_for_size(size)
+        self.stats.counter("frees").add(1)
+        if index is None:
+            self.stats.counter("large_leaks").add(1)
+            return
+        head = self._hdr.get("heads", index=index)
+        self._mem.write_u64(offset, head)
+        self._hdr.set("heads", offset, index=index)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def bump(self):
+        """Next never-allocated offset (high-water mark)."""
+        return self._hdr.get("bump")
+
+    @property
+    def limit(self):
+        """End of the arena."""
+        return self._hdr.get("limit")
+
+    def bytes_remaining(self):
+        """Never-allocated bytes left (ignores free lists)."""
+        return self.limit - self.bump

@@ -1,0 +1,46 @@
+"""``Persistent[T]`` — the paper's typed handle around a pool root.
+
+A thin, explicit wrapper for applications that prefer the Listing-1 shape
+(`Persistent<HashMap>::new(&allocator)`) over calling
+:meth:`~repro.libpax.pool.PaxPool.persistent` directly. It delegates
+attribute access to the underlying structure and adds ``persist()`` so a
+handle is all an application needs to hold.
+"""
+
+
+class Persistent:
+    """A handle to a pool's root structure.
+
+    >>> pool = map_pool()                                   # doctest: +SKIP
+    >>> ht = Persistent(pool, HashMap)                      # doctest: +SKIP
+    >>> ht.put(1, 100); ht.persist()                        # doctest: +SKIP
+    """
+
+    def __init__(self, pool, structure_cls, **kwargs):
+        self._pool = pool
+        self._structure_cls = structure_cls
+        self._value = pool.persistent(structure_cls, **kwargs)
+
+    @property
+    def value(self):
+        """The underlying structure instance."""
+        return self._value
+
+    def persist(self):
+        """Commit a crash-consistent snapshot of the whole pool."""
+        return self._pool.persist()
+
+    def reattach(self):
+        """Re-bind after a pool restart (crash recovery)."""
+        self._value = self._pool.reattach_root(self._structure_cls)
+        return self._value
+
+    def __getattr__(self, name):
+        # Only called when normal lookup fails: delegate to the structure.
+        return getattr(self._value, name)
+
+    def __len__(self):
+        return len(self._value)
+
+    def __repr__(self):
+        return "Persistent(%r)" % (self._value,)

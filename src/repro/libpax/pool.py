@@ -1,0 +1,293 @@
+"""The user-facing libpax API (paper §3.1, Listing 1).
+
+The Rust in the paper::
+
+    let mut allocator = HWSnapshotter::<MyAllocator>::map_pool("./ht.pool");
+    let persistent_ht = Persistent::<HashMap>::new(&allocator);
+    persistent_ht.insert(1, 100);
+    persistent_ht.persist();
+
+maps onto::
+
+    pool = map_pool("./ht.pool")
+    ht = pool.persistent(HashMap)
+    ht.put(1, 100)
+    pool.persist()
+
+``map_pool`` builds the whole simulated machine (host caches, link, PAX
+device, PM), recovers the pool if a crash left an uncommitted epoch, and
+wires an allocator into structure space. ``persistent`` either creates
+the structure (empty pool) or re-attaches to the recovered one — the
+application cannot tell which happened (paper §3.4).
+"""
+
+from contextlib import contextmanager
+
+from repro.errors import PoolError, ProtocolError
+from repro.libpax.allocator import PmAllocator
+from repro.libpax.machine import PaxMachine
+from repro.pm.pool import (
+    ROOT_KIND_DIRECTORY,
+    ROOT_KIND_NONE,
+    ROOT_KIND_SINGLE,
+)
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def name_hash(name):
+    """FNV-1a hash of a structure name (directory key).
+
+    64-bit, so accidental collisions between the handful of names one
+    pool holds are astronomically unlikely; a collision raises at attach
+    time because the structure magic will not match.
+    """
+    h = 0xCBF29CE484222325
+    for byte in name.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x100000001B3) & _MASK64
+    return h or 1
+
+
+class PaxPool:
+    """An open pool plus the machine that backs it."""
+
+    def __init__(self, machine, auto_persist_log_fraction=None):
+        self.machine = machine
+        self._mem = machine.mem(core_id=0)
+        self.allocator = PmAllocator.create_or_attach(
+            self._mem, machine.heap_size)
+        self._operations_in_flight = 0
+        if auto_persist_log_fraction is not None \
+                and not 0 < auto_persist_log_fraction <= 1:
+            raise PoolError("auto-persist fraction must be in (0, 1]")
+        #: Paper §3.2: "libpax can issue persist() periodically to limit
+        #: undo log growth." When set, every operation() exit checks log
+        #: fullness and snapshots past this fraction.
+        self.auto_persist_log_fraction = auto_persist_log_fraction
+
+    # -- Listing 1, line 1 -------------------------------------------------
+
+    @classmethod
+    def map_pool(cls, path=None, pool_size=64 * 1024 * 1024,
+                 log_size=4 * 1024 * 1024, auto_persist_log_fraction=None,
+                 **machine_kwargs):
+        """Open (or create) a pool, running recovery if needed.
+
+        ``path`` backs the pool with a real file; None keeps it in memory
+        (tests and benchmarks). Remaining keyword arguments configure the
+        :class:`~repro.libpax.machine.PaxMachine` (``link``,
+        ``pax_config``, ``num_cores``, cache geometries, ...).
+        """
+        machine = PaxMachine(pool_size=pool_size, log_size=log_size,
+                             backing_path=path, **machine_kwargs)
+        return cls(machine,
+                   auto_persist_log_fraction=auto_persist_log_fraction)
+
+    # -- Listing 1, line 2 ----------------------------------------------------
+
+    def persistent(self, structure_cls, **kwargs):
+        """Create or recover the pool's root structure.
+
+        ``structure_cls`` must provide ``create(mem, allocator, **kwargs)``
+        and ``attach(mem, allocator, root)`` plus a ``root`` offset
+        property — every class in :mod:`repro.structures` does.
+
+        On a fresh pool the structure is created, an initial snapshot is
+        committed, and the root pointer is published; on an existing pool
+        the recovered structure is re-attached. Either way the caller gets
+        a ready structure (paper: "there is no difference between
+        constructing a new persistent map and recovering one").
+        """
+        pool = self.machine.pool
+        if pool.root_kind == ROOT_KIND_DIRECTORY:
+            raise PoolError(
+                "this pool holds named roots; use persistent_named()")
+        root = pool.root_ptr
+        if root != 0:
+            return structure_cls.attach(self._mem, self.allocator, root)
+        structure = structure_cls.create(self._mem, self.allocator, **kwargs)
+        # Commit the initialized (empty) structure before publishing its
+        # root: a crash in between re-creates from scratch instead of
+        # attaching to rolled-back garbage.
+        self.persist()
+        pool.root_ptr = structure.root
+        pool.root_kind = ROOT_KIND_SINGLE
+        return structure
+
+    def persistent_named(self, name, structure_cls, **kwargs):
+        """Create or recover one of several named structures in this pool.
+
+        A pool either holds one anonymous root (:meth:`persistent`) or a
+        directory of named roots — the two styles cannot mix. Each named
+        structure gets its own heap allocations; all share the pool's
+        snapshot: one ``persist()`` commits them together, and recovery
+        restores them together.
+        """
+        pool = self.machine.pool
+        if pool.root_kind == ROOT_KIND_SINGLE:
+            raise PoolError(
+                "this pool holds a single anonymous root; use persistent()")
+        directory = self._root_directory(create=True)
+        key = name_hash(name)
+        root = directory.get(key, 0)
+        if root:
+            return structure_cls.attach(self._mem, self.allocator, root)
+        structure = structure_cls.create(self._mem, self.allocator, **kwargs)
+        # Same publish discipline as persistent(): the snapshot containing
+        # the initialized structure commits before the directory points at
+        # it, so a crash in between only leaks, never dangles.
+        self.persist()
+        directory.put(key, structure.root)
+        self.persist()
+        return structure
+
+    def named_roots(self):
+        """Return ``{name_hash: root_offset}`` of the directory (empty if
+        this pool uses a single anonymous root)."""
+        if self.machine.pool.root_kind != ROOT_KIND_DIRECTORY:
+            return {}
+        return self._root_directory(create=False).to_dict()
+
+    def _root_directory(self, create):
+        from repro.structures.hashmap import HashMap
+        pool = self.machine.pool
+        if pool.root_ptr != 0 and pool.root_kind == ROOT_KIND_DIRECTORY:
+            return HashMap.attach(self._mem, self.allocator, pool.root_ptr)
+        if not create:
+            raise PoolError("pool has no named-root directory")
+        directory = HashMap.create(self._mem, self.allocator, capacity=16)
+        self.persist()
+        pool.root_ptr = directory.root
+        pool.root_kind = ROOT_KIND_DIRECTORY
+        return directory
+
+    def reattach_named(self, name, structure_cls):
+        """Re-attach a named structure after :meth:`restart`."""
+        directory = self._root_directory(create=False)
+        root = directory.get(name_hash(name), 0)
+        if not root:
+            raise PoolError("pool has no structure named %r" % (name,))
+        return structure_cls.attach(self._mem, self.allocator, root)
+
+    # -- Listing 1, line 6 -------------------------------------------------------
+
+    @contextmanager
+    def operation(self):
+        """Mark a logical operation in progress (paper §3.5).
+
+        "Application code must ensure that persist() is only called when
+        no thread is modifying the data structure, otherwise persisted
+        snapshots may still include partial effects from ongoing
+        operations." This guard turns that contract violation into a
+        loud error instead of a silently-torn snapshot::
+
+            with pool.operation():
+                ht.put(1, 100)
+            pool.persist()          # fine here, error inside the block
+        """
+        self._operations_in_flight += 1
+        try:
+            yield self
+        finally:
+            self._operations_in_flight -= 1
+        if not self._operations_in_flight \
+                and self.auto_persist_log_fraction is not None:
+            self.maybe_persist(self.auto_persist_log_fraction)
+
+    @property
+    def log_fullness(self):
+        """Fraction of undo-log capacity consumed (durable + pending)."""
+        device = self.machine.device
+        used = device.region.used_entries + device.undo.pending_count
+        return used / device.region.capacity_entries
+
+    def maybe_persist(self, threshold=0.8):
+        """Snapshot now if the undo log has crossed ``threshold`` fullness.
+
+        The §3.2 log-growth valve. A no-op (returns False) while an
+        operation is in flight — persisting then would violate §3.5 — or
+        below the threshold.
+        """
+        if self._operations_in_flight or self.log_fullness < threshold:
+            return False
+        self.persist()
+        return True
+
+    def _check_quiescent(self):
+        if self._operations_in_flight:
+            raise ProtocolError(
+                "persist() called with %d operation(s) in progress; the "
+                "snapshot would contain partial effects (paper §3.5)"
+                % self._operations_in_flight)
+
+    def persist(self):
+        """Commit a crash-consistent snapshot; returns the blocking ns."""
+        self._check_quiescent()
+        return self.machine.persist()
+
+    def persist_async(self):
+        """Pipelined snapshot (paper §6): block only for the snoop phase.
+
+        The returned handle's ``committed`` attribute flips once the
+        epoch is durable; ``persist_barrier()`` forces completion.
+        """
+        self._check_quiescent()
+        return self.machine.persist_async()
+
+    def persist_barrier(self):
+        """Wait until every pipelined snapshot has committed."""
+        return self.machine.persist_barrier()
+
+    # -- accessors -------------------------------------------------------------------
+
+    def mem(self, core_id=0):
+        """Structure-space accessor bound to ``core_id``."""
+        return self.machine.mem(core_id)
+
+    @property
+    def committed_epoch(self):
+        """Epoch of the durable snapshot."""
+        return self.machine.pool.committed_epoch
+
+    @property
+    def undo_log_entries(self):
+        """Durable undo records in the open epoch (log growth metric)."""
+        return self.machine.device.region.used_entries
+
+    # -- crash testing ------------------------------------------------------------------
+
+    def crash(self):
+        """Simulate power loss."""
+        self.machine.crash()
+
+    def restart(self):
+        """Reboot + recover; re-attaches the allocator. Returns the report.
+
+        A crash that predates the very first persist rolls the allocator
+        header itself away — recovery then re-creates it (the pool is
+        genuinely empty in that case).
+        """
+        report = self.machine.restart()
+        self.allocator = PmAllocator.create_or_attach(
+            self._mem, self.machine.heap_size)
+        return report
+
+    def reattach_root(self, structure_cls):
+        """Re-attach the root structure after :meth:`restart`."""
+        root = self.machine.pool.root_ptr
+        if root == 0:
+            raise PoolError("pool has no published root structure")
+        return structure_cls.attach(self._mem, self.allocator, root)
+
+    def close(self):
+        """Flush to the backing file (if any)."""
+        self.machine.close()
+
+    def __repr__(self):
+        return "PaxPool(epoch=%d)" % self.committed_epoch
+
+
+def map_pool(path=None, **kwargs):
+    """Module-level convenience mirroring the paper's ``map_pool``."""
+    return PaxPool.map_pool(path, **kwargs)

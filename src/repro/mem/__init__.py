@@ -1,0 +1,29 @@
+"""Memory substrate: devices, address map, accessors, layouts, page table."""
+
+from repro.mem.accessor import (
+    CountingAccessor,
+    MemoryAccessor,
+    OffsetAccessor,
+    RawAccessor,
+)
+from repro.mem.address_space import AddressSpace, Mapping
+from repro.mem.layout import Field, StructLayout, StructView
+from repro.mem.page_table import FaultingAccessor, PagePermission, PageTable
+from repro.mem.physical import DramDevice, MemoryDevice
+
+__all__ = [
+    "AddressSpace",
+    "CountingAccessor",
+    "DramDevice",
+    "FaultingAccessor",
+    "Field",
+    "Mapping",
+    "MemoryAccessor",
+    "MemoryDevice",
+    "OffsetAccessor",
+    "PagePermission",
+    "PageTable",
+    "RawAccessor",
+    "StructLayout",
+    "StructView",
+]

@@ -1,0 +1,153 @@
+"""Typed memory accessors — the load/store interface structures are written to.
+
+This is the reproduction's stand-in for Pin-style binary instrumentation
+(paper §4): instead of rewriting loads and stores at runtime, data
+structure code performs every access through a :class:`MemoryAccessor`.
+Binding the *same structure code* to different accessors yields the DRAM,
+PM-direct, and vPM-via-PAX variants — the paper's black-box reuse claim.
+
+``MemoryAccessor`` is an abstract byte interface plus typed u8..u64
+helpers. Concrete accessors:
+
+* :class:`RawAccessor` — direct, zero-latency access to an address space
+  (used by recovery code and tests that need an omniscient view).
+* Cache-mediated accessors live with the machine model
+  (:mod:`repro.libpax.machine`), because they need a CPU context.
+"""
+
+import struct
+
+from repro.errors import AddressError
+from repro.util.constants import WORD_SIZE
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class MemoryAccessor:
+    """Abstract load/store interface with typed integer helpers.
+
+    Subclasses implement :meth:`read` and :meth:`write`; everything else is
+    derived. All integers are little-endian and unsigned, matching the
+    C-style layouts in :mod:`repro.structures`.
+    """
+
+    def read(self, addr, length):
+        """Load ``length`` bytes at ``addr``."""
+        raise NotImplementedError
+
+    def write(self, addr, data):
+        """Store ``data`` (bytes) at ``addr``."""
+        raise NotImplementedError
+
+    # -- typed helpers ----------------------------------------------------
+
+    def read_u8(self, addr):
+        """Load an unsigned byte."""
+        return _U8.unpack(self.read(addr, 1))[0]
+
+    def write_u8(self, addr, value):
+        """Store an unsigned byte."""
+        self.write(addr, _U8.pack(value & 0xFF))
+
+    def read_u16(self, addr):
+        """Load a little-endian u16."""
+        return _U16.unpack(self.read(addr, 2))[0]
+
+    def write_u16(self, addr, value):
+        """Store a little-endian u16."""
+        self.write(addr, _U16.pack(value & 0xFFFF))
+
+    def read_u32(self, addr):
+        """Load a little-endian u32."""
+        return _U32.unpack(self.read(addr, 4))[0]
+
+    def write_u32(self, addr, value):
+        """Store a little-endian u32."""
+        self.write(addr, _U32.pack(value & 0xFFFFFFFF))
+
+    def read_u64(self, addr):
+        """Load a little-endian u64 (the structure word type)."""
+        return _U64.unpack(self.read(addr, WORD_SIZE))[0]
+
+    def write_u64(self, addr, value):
+        """Store a little-endian u64."""
+        self.write(addr, _U64.pack(value & 0xFFFFFFFFFFFFFFFF))
+
+    def read_bytes(self, addr, length):
+        """Alias of :meth:`read` for symmetry with ``write_bytes``."""
+        return self.read(addr, length)
+
+    def write_bytes(self, addr, data):
+        """Alias of :meth:`write`."""
+        self.write(addr, data)
+
+    def memset(self, addr, length, value=0):
+        """Store ``length`` copies of ``value`` starting at ``addr``."""
+        if length < 0:
+            raise AddressError("memset length must be non-negative")
+        self.write(addr, bytes([value]) * length)
+
+    def memcpy(self, dst, src, length):
+        """Copy ``length`` bytes from ``src`` to ``dst`` through this accessor."""
+        self.write(dst, self.read(src, length))
+
+
+class RawAccessor(MemoryAccessor):
+    """Direct access to an :class:`~repro.mem.address_space.AddressSpace`.
+
+    Bypasses caches and charges no simulated time. Used for recovery,
+    verification, and building initial pool contents.
+    """
+
+    def __init__(self, space):
+        self._space = space
+
+    def read(self, addr, length):
+        return self._space.read(addr, length)
+
+    def write(self, addr, data):
+        self._space.write(addr, data)
+
+
+class OffsetAccessor(MemoryAccessor):
+    """A view of another accessor shifted by a base address.
+
+    Lets pool-relative offsets be used as addresses; structures stay
+    position-independent (everything they store is a pool offset), which is
+    what makes recovery after re-mapping possible.
+    """
+
+    def __init__(self, inner, base):
+        self._inner = inner
+        self.base = base
+
+    def read(self, addr, length):
+        return self._inner.read(self.base + addr, length)
+
+    def write(self, addr, data):
+        self._inner.write(self.base + addr, data)
+
+
+class CountingAccessor(MemoryAccessor):
+    """Wraps another accessor and counts loads/stores (for write-amp math)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.loads = 0
+        self.stores = 0
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+
+    def read(self, addr, length):
+        self.loads += 1
+        self.bytes_loaded += length
+        return self._inner.read(addr, length)
+
+    def write(self, addr, data):
+        data = bytes(data)
+        self.stores += 1
+        self.bytes_stored += len(data)
+        self._inner.write(addr, data)

@@ -1,0 +1,145 @@
+"""Declarative C-style struct layouts over a :class:`MemoryAccessor`.
+
+Persistent structures are laid out like C structs in the pool: fixed field
+offsets, u64 words, explicit sizes. :class:`StructLayout` computes offsets
+from an ordered field list and :class:`StructView` gives attribute-style
+access to one instance at a given address. This keeps the data-structure
+code readable while every field access remains an observable load/store.
+
+>>> layout = StructLayout("entry", [("key", "u64"), ("value", "u64"),
+...                                 ("next", "u64")])
+>>> layout.size
+24
+>>> layout.offset("next")
+16
+"""
+
+from repro.errors import ConfigError
+from repro.util.bitops import align_up
+
+_FIELD_SIZES = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}
+_FIELD_ALIGNS = dict(_FIELD_SIZES)
+
+
+class Field:
+    """One field in a :class:`StructLayout`."""
+
+    __slots__ = ("name", "kind", "offset", "size", "count")
+
+    def __init__(self, name, kind, offset, size, count):
+        self.name = name
+        self.kind = kind
+        self.offset = offset
+        self.size = size
+        self.count = count
+
+    def __repr__(self):
+        return "Field(%s: %s @%d)" % (self.name, self.kind, self.offset)
+
+
+class StructLayout:
+    """Computes natural-alignment offsets for an ordered list of fields.
+
+    Fields are ``(name, kind)`` pairs where kind is ``u8``/``u16``/``u32``/
+    ``u64``, ``bytes:N`` for a fixed byte array, or ``u64:N`` for an array
+    of N words. The total size is rounded up to 8 bytes so consecutive
+    structs stay word-aligned.
+    """
+
+    def __init__(self, name, fields):
+        self.name = name
+        self.fields = {}
+        offset = 0
+        for field_name, kind in fields:
+            if field_name in self.fields:
+                raise ConfigError("duplicate field %s in %s" % (field_name, name))
+            base_kind, _, count_str = kind.partition(":")
+            count = int(count_str) if count_str else 1
+            if count <= 0:
+                raise ConfigError("field %s has non-positive count" % field_name)
+            if base_kind == "bytes":
+                size = count
+                alignment = 1
+                count = 1
+            elif base_kind in _FIELD_SIZES:
+                size = _FIELD_SIZES[base_kind] * count
+                alignment = _FIELD_ALIGNS[base_kind]
+            else:
+                raise ConfigError("unknown field kind %r" % (kind,))
+            offset = align_up(offset, alignment)
+            self.fields[field_name] = Field(field_name, base_kind, offset,
+                                            size, count)
+            offset += size
+        self.size = align_up(offset, 8) if offset else 8
+
+    def offset(self, field_name):
+        """Byte offset of ``field_name`` from the struct base."""
+        return self.fields[field_name].offset
+
+    def field(self, field_name):
+        """Return the :class:`Field` descriptor."""
+        return self.fields[field_name]
+
+    def view(self, mem, addr):
+        """Return a :class:`StructView` of the instance at ``addr``."""
+        return StructView(self, mem, addr)
+
+    def __repr__(self):
+        return "StructLayout(%s, %d bytes, %d fields)" % (
+            self.name, self.size, len(self.fields))
+
+
+class StructView:
+    """Attribute-style access to one struct instance in memory.
+
+    ``view.get("key")`` / ``view.set("key", v)`` issue the corresponding
+    typed loads/stores through the bound accessor. Scalar fields read/write
+    integers; ``bytes`` fields read/write byte strings; array fields take
+    an extra index.
+    """
+
+    __slots__ = ("layout", "_mem", "addr")
+
+    def __init__(self, layout, mem, addr):
+        self.layout = layout
+        self._mem = mem
+        self.addr = addr
+
+    def _field_addr(self, field, index):
+        if index:
+            if field.kind == "bytes" or index >= field.count:
+                raise ConfigError(
+                    "index %d out of range for %s" % (index, field.name))
+            return self.addr + field.offset + index * _FIELD_SIZES[field.kind]
+        return self.addr + field.offset
+
+    def get(self, field_name, index=0):
+        """Load field ``field_name`` (element ``index`` for arrays)."""
+        field = self.layout.fields[field_name]
+        addr = self._field_addr(field, index)
+        if field.kind == "bytes":
+            return self._mem.read(addr, field.size)
+        reader = getattr(self._mem, "read_" + field.kind)
+        return reader(addr)
+
+    def set(self, field_name, value, index=0):
+        """Store ``value`` to field ``field_name``."""
+        field = self.layout.fields[field_name]
+        addr = self._field_addr(field, index)
+        if field.kind == "bytes":
+            value = bytes(value)
+            if len(value) != field.size:
+                raise ConfigError(
+                    "field %s expects %d bytes, got %d"
+                    % (field_name, field.size, len(value)))
+            self._mem.write(addr, value)
+            return
+        writer = getattr(self._mem, "write_" + field.kind)
+        writer(addr, value)
+
+    def field_addr(self, field_name, index=0):
+        """Address of a field, for passing to other code."""
+        return self._field_addr(self.layout.fields[field_name], index)
+
+    def __repr__(self):
+        return "StructView(%s @0x%x)" % (self.layout.name, self.addr)

@@ -1,0 +1,108 @@
+"""A minimal page table with write protection and fault delivery.
+
+This exists to reproduce the paper's page-fault baseline (§1, refs [12,
+15, 20]): crash-consistency systems that ``mprotect`` the persistent
+region read-only and catch the first store to each page per epoch. The
+table tracks per-page protection bits and dirty state, and delivers a
+:class:`~repro.errors.ProtectionError`-shaped event to a registered fault
+handler, charging the >1 µs trap cost the paper cites.
+
+The page table deliberately does not translate addresses (the simulator is
+identity-mapped); it only interposes protection, which is the behaviour
+the baseline needs.
+"""
+
+from repro.errors import ProtectionError
+from repro.mem.accessor import MemoryAccessor
+from repro.util.bitops import page_base, split_pages
+from repro.util.stats import StatGroup
+
+
+class PagePermission:
+    """Protection bits for one page."""
+
+    READ = 1
+    WRITE = 2
+    READ_WRITE = READ | WRITE
+
+
+class PageTable:
+    """Per-page protection and dirty tracking over an address range."""
+
+    def __init__(self, base, size):
+        self.base = page_base(base)
+        self.size = size
+        self._perms = {}
+        self._dirty = set()
+        self.stats = StatGroup("page_table")
+
+    def _check(self, addr):
+        if not (self.base <= addr < self.base + self.size):
+            raise ProtectionError(addr, "address 0x%x outside tracked range" % addr)
+
+    def protect(self, addr, length, perm):
+        """Set protection ``perm`` on every page covering the range."""
+        for page, _off, _len in split_pages(addr, length):
+            self._check(page)
+            self._perms[page] = perm
+
+    def protect_all(self, perm):
+        """Set protection on the whole tracked range."""
+        self.protect(self.base, self.size, perm)
+
+    def permission(self, addr):
+        """Protection bits of the page containing ``addr``."""
+        self._check(addr)
+        return self._perms.get(page_base(addr), PagePermission.READ_WRITE)
+
+    def is_writable(self, addr):
+        """True if a store to ``addr`` would not fault."""
+        return bool(self.permission(addr) & PagePermission.WRITE)
+
+    def mark_dirty(self, addr):
+        """Record the page containing ``addr`` as dirty this epoch."""
+        self._check(addr)
+        self._dirty.add(page_base(addr))
+
+    def dirty_pages(self):
+        """Return the sorted list of dirty page base addresses."""
+        return sorted(self._dirty)
+
+    def clear_dirty(self):
+        """Forget dirty state (start of a new epoch)."""
+        self._dirty.clear()
+
+    def __repr__(self):
+        return "PageTable(0x%x..0x%x, %d dirty)" % (
+            self.base, self.base + self.size, len(self._dirty))
+
+
+class FaultingAccessor(MemoryAccessor):
+    """An accessor that consults a :class:`PageTable` on every store.
+
+    On a store to a write-protected page it invokes ``fault_handler(page)``
+    — which typically logs the page, upgrades protection, and charges the
+    trap cost — then retries. Loads never fault (the baseline only write-
+    protects).
+    """
+
+    def __init__(self, inner, table, fault_handler):
+        self._inner = inner
+        self._table = table
+        self._fault_handler = fault_handler
+        self.stats = StatGroup("faulting_accessor")
+
+    def read(self, addr, length):
+        return self._inner.read(addr, length)
+
+    def write(self, addr, data):
+        data = bytes(data)
+        for page, _off, _len in split_pages(addr, len(data)):
+            if not self._table.is_writable(page):
+                self.stats.counter("write_faults").add(1)
+                self._fault_handler(page)
+                if not self._table.is_writable(page):
+                    raise ProtectionError(
+                        page, "fault handler did not unprotect page 0x%x" % page)
+            self._table.mark_dirty(page)
+        self._inner.write(addr, data)

@@ -1,0 +1,75 @@
+"""Physical memory devices.
+
+A :class:`MemoryDevice` owns a contiguous physical byte range and services
+reads and writes at byte granularity. :class:`DramDevice` is the simplest:
+volatile storage that forgets everything on a crash. The persistent-memory
+device lives in :mod:`repro.pm.device` and layers durability semantics on
+top of the same interface.
+
+Devices store bytes in a ``bytearray``; address arithmetic is always done
+relative to the device's own base so devices can be placed anywhere in the
+system map (:mod:`repro.mem.address_space`).
+"""
+
+from repro.errors import AddressError, ConfigError
+from repro.util.stats import StatGroup
+
+
+class MemoryDevice:
+    """A contiguous physical memory region with read/write byte access."""
+
+    #: Human-readable device kind, overridden by subclasses.
+    KIND = "memory"
+
+    def __init__(self, name, size):
+        if size <= 0:
+            raise ConfigError("device %s must have positive size" % name)
+        self.name = name
+        self.size = size
+        self._data = bytearray(size)
+        self.stats = StatGroup(name)
+
+    def _check_range(self, offset, length):
+        if length < 0:
+            raise AddressError("negative access length %d on %s" % (length, self.name))
+        if offset < 0 or offset + length > self.size:
+            raise AddressError(
+                "access [0x%x, +%d) outside device %s of size 0x%x"
+                % (offset, length, self.name, self.size))
+
+    def read(self, offset, length):
+        """Return ``length`` bytes starting at device-relative ``offset``."""
+        self._check_range(offset, length)
+        self.stats.counter("reads").add(1)
+        self.stats.counter("bytes_read").add(length)
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, offset, data):
+        """Store ``data`` at device-relative ``offset``."""
+        data = bytes(data)
+        self._check_range(offset, len(data))
+        self.stats.counter("writes").add(1)
+        self.stats.counter("bytes_written").add(len(data))
+        self._data[offset:offset + len(data)] = data
+
+    def fill(self, offset, length, value=0):
+        """Set ``length`` bytes at ``offset`` to ``value``."""
+        self._check_range(offset, length)
+        self._data[offset:offset + length] = bytes([value]) * length
+
+    def on_crash(self):
+        """Apply crash semantics. Base devices lose nothing extra."""
+
+    def __repr__(self):
+        return "%s(%s, %d bytes)" % (type(self).__name__, self.name, self.size)
+
+
+class DramDevice(MemoryDevice):
+    """Volatile DRAM: contents are zeroed by a crash (power loss)."""
+
+    KIND = "dram"
+
+    def on_crash(self):
+        """Power loss: volatile contents are gone."""
+        self._data = bytearray(self.size)
+        self.stats.counter("crash_wipes").add(1)

@@ -1,0 +1,25 @@
+"""Persistent memory substrate: device, pool format, undo log, flush costs."""
+
+from repro.pm.device import PmDevice
+from repro.pm.flush import FlushModel
+from repro.pm.log import (
+    ENTRY_SIZE,
+    UndoEntry,
+    UndoLogRegion,
+    decode_entry,
+    encode_entry,
+)
+from repro.pm.pool import Pool, POOL_MAGIC, POOL_VERSION
+
+__all__ = [
+    "ENTRY_SIZE",
+    "FlushModel",
+    "PmDevice",
+    "Pool",
+    "POOL_MAGIC",
+    "POOL_VERSION",
+    "UndoEntry",
+    "UndoLogRegion",
+    "decode_entry",
+    "encode_entry",
+]

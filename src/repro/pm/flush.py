@@ -1,0 +1,54 @@
+"""Persistence primitives: CLWB / SFENCE cost modelling.
+
+Hand-crafted PM code (the PMDK-style baseline) must explicitly write dirty
+lines back (`CLWB`) and order those write-backs against subsequent stores
+(`SFENCE`). The paper's core argument (§2) is that these ordering stalls,
+incurred several times per logical operation, are what PAX eliminates.
+
+:class:`FlushModel` charges those costs to a simulated clock and counts
+them, so benchmarks can report both time and flush counts.
+"""
+
+from repro.util.bitops import lines_covering
+from repro.util.stats import StatGroup
+
+
+class FlushModel:
+    """Charges CLWB/SFENCE costs against a :class:`~repro.sim.clock.SimClock`."""
+
+    def __init__(self, clock, latency_model):
+        self._clock = clock
+        self._lat = latency_model
+        self.stats = StatGroup("flush")
+
+    def clwb(self, addr, length):
+        """Write back every cache line covering ``[addr, addr+length)``.
+
+        Charges the issue cost per line plus the PM write latency for the
+        final line (CLWBs pipeline; the trailing SFENCE pays the rest).
+        """
+        lines = lines_covering(addr, length)
+        if not lines:
+            return 0.0
+        cost = len(lines) * self._lat.software.clwb_ns
+        self.stats.counter("clwb_lines").add(len(lines))
+        self._clock.advance(cost)
+        return cost
+
+    def sfence(self):
+        """Order prior write-backs; stall until they reach the ADR domain."""
+        cost = self._lat.software.sfence_ns + self._lat.media.pm_write_ns
+        self.stats.counter("sfences").add(1)
+        self._clock.advance(cost)
+        return cost
+
+    def persist_range(self, addr, length):
+        """The canonical CLWB-all-lines-then-SFENCE sequence."""
+        total = self.clwb(addr, length)
+        total += self.sfence()
+        return total
+
+    @property
+    def sfence_count(self):
+        """Number of ordering stalls charged so far."""
+        return self.stats.get("sfences")

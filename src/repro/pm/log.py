@@ -1,0 +1,167 @@
+"""The on-PM undo log region.
+
+Fixed-size entries laid out back to back in the pool's log region. Each
+entry records the **old** contents of one cache line plus the epoch that
+overwrote it; recovery rolls entries back newest-first for every epoch
+newer than the committed snapshot (paper §3.3-3.4).
+
+Entry layout (96 bytes, 1.5 lines — keeps the 64-byte payload aligned):
+
+========  ====  =========================================================
+offset    size  field
+``0``     4     magic (``0x554E444F``, "UNDO")
+``4``     2     payload length (1..64)
+``6``     2     reserved
+``8``     8     epoch number
+``16``    8     pool-relative address of the target line (line-aligned)
+``24``    64    old line contents
+``88``    4     CRC-32C over bytes [0, 88)
+``92``    4     reserved
+========  ====  =========================================================
+
+Durability model: the log region lives on the PM device, so an entry is
+durable the instant :meth:`append` writes it. The *asynchronous* part of
+PAX logging — entries buffered in device SRAM before being written here —
+is modelled by :class:`repro.core.undo.UndoLogger`, which owns the
+volatile tail and calls :meth:`append` as the background drain happens.
+
+The write offset advances monotonically within an epoch (paper §3.3: "the
+undo log becomes durable at a monotonically increasing offset"). After a
+successful epoch commit every entry is dead, so :meth:`reset` rewinds to
+offset zero and poisons the first header so stale entries cannot be
+mistaken for live ones.
+"""
+
+import struct
+
+from repro.errors import LogError
+from repro.util.bitops import is_aligned
+from repro.util.checksum import crc32c
+from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.stats import StatGroup
+
+ENTRY_MAGIC = 0x554E444F
+ENTRY_SIZE = 96
+
+_PREFIX = struct.Struct("<IHHQQ")      # magic, len, pad, epoch, addr
+_CRC = struct.Struct("<I")
+_CRC_OFFSET = _PREFIX.size + CACHE_LINE_SIZE
+
+
+class UndoEntry:
+    """A decoded undo-log entry."""
+
+    __slots__ = ("epoch", "addr", "data", "offset")
+
+    def __init__(self, epoch, addr, data, offset):
+        self.epoch = epoch
+        self.addr = addr
+        self.data = data
+        self.offset = offset
+
+    def __repr__(self):
+        return "UndoEntry(epoch=%d, addr=0x%x, off=%d)" % (
+            self.epoch, self.addr, self.offset)
+
+
+def encode_entry(epoch, addr, data):
+    """Serialize one entry; ``data`` is the old line contents (<= 64 B)."""
+    data = bytes(data)
+    if not 1 <= len(data) <= CACHE_LINE_SIZE:
+        raise LogError("undo payload must be 1..64 bytes, got %d" % len(data))
+    if not is_aligned(addr, CACHE_LINE_SIZE):
+        raise LogError("undo entries target line-aligned addresses")
+    payload = data.ljust(CACHE_LINE_SIZE, b"\x00")
+    prefix = _PREFIX.pack(ENTRY_MAGIC, len(data), 0, epoch, addr)
+    body = prefix + payload
+    return body + _CRC.pack(crc32c(body)) + b"\x00" * (ENTRY_SIZE - _CRC_OFFSET - 4)
+
+
+def decode_entry(blob, offset=0):
+    """Decode one entry; return :class:`UndoEntry` or None if invalid."""
+    if len(blob) < ENTRY_SIZE:
+        return None
+    magic, length, _pad, epoch, addr = _PREFIX.unpack_from(blob, 0)
+    if magic != ENTRY_MAGIC or not 1 <= length <= CACHE_LINE_SIZE:
+        return None
+    (stored_crc,) = _CRC.unpack_from(blob, _CRC_OFFSET)
+    if stored_crc != crc32c(blob[:_CRC_OFFSET]):
+        return None
+    data = bytes(blob[_PREFIX.size:_PREFIX.size + length])
+    return UndoEntry(epoch, addr, data, offset)
+
+
+class UndoLogRegion:
+    """Append-only undo log in the pool's log region."""
+
+    def __init__(self, device, base, size):
+        if size < ENTRY_SIZE:
+            raise LogError("log region too small for a single entry")
+        self.device = device
+        self.base = base
+        self.size = size
+        self.write_offset = 0
+        self.stats = StatGroup("undo_log")
+
+    @property
+    def capacity_entries(self):
+        """Maximum number of entries the region can hold."""
+        return self.size // ENTRY_SIZE
+
+    @property
+    def used_entries(self):
+        """Entries appended since the last reset."""
+        return self.write_offset // ENTRY_SIZE
+
+    @property
+    def is_full(self):
+        """True if no further entry fits."""
+        return self.write_offset + ENTRY_SIZE > self.size
+
+    def append(self, epoch, addr, data):
+        """Durably append one entry; returns its region-relative offset."""
+        if self.is_full:
+            raise LogError(
+                "undo log full (%d entries); call persist() more often or "
+                "grow the log region" % self.used_entries)
+        blob = encode_entry(epoch, addr, data)
+        offset = self.write_offset
+        self.device.write(self.base + offset, blob)
+        self.write_offset = offset + ENTRY_SIZE
+        # Poison the next entry's header so a recovery scan terminates at
+        # the true tail instead of resurrecting stale pre-reset entries.
+        if self.write_offset + ENTRY_SIZE <= self.size:
+            self.device.write(self.base + self.write_offset,
+                              bytes(_PREFIX.size))
+        self.stats.counter("appends").add(1)
+        self.stats.counter("bytes").add(ENTRY_SIZE)
+        return offset
+
+    def reset(self):
+        """Discard all entries after a successful epoch commit."""
+        # Poison the first header so a recovery scan of the rewound log
+        # terminates immediately; old entry bodies beyond it are unreachable
+        # because scanning stops at the first invalid header.
+        self.device.write(self.base, bytes(_PREFIX.size))
+        self.write_offset = 0
+        self.stats.counter("resets").add(1)
+
+    def scan(self):
+        """Yield valid entries in append order, stopping at the first hole.
+
+        Used by recovery, which must rely only on durable bytes: the scan
+        re-reads the device rather than trusting ``write_offset`` (which is
+        volatile state lost in a crash).
+        """
+        offset = 0
+        while offset + ENTRY_SIZE <= self.size:
+            blob = self.device.read(self.base + offset, ENTRY_SIZE)
+            entry = decode_entry(blob, offset)
+            if entry is None:
+                return
+            yield entry
+            offset += ENTRY_SIZE
+
+    def __repr__(self):
+        return "UndoLogRegion(%d/%d entries)" % (
+            self.used_entries, self.capacity_entries)

@@ -1,0 +1,31 @@
+"""Simulation primitives: clock, latency model, bandwidth, deterministic RNG."""
+
+from repro.sim.bandwidth import BandwidthLimiter, BandwidthMeter
+from repro.sim.clock import SimClock, StopWatch
+from repro.sim.latency import (
+    Bandwidth,
+    CacheLatency,
+    LatencyModel,
+    LinkLatency,
+    MediaLatency,
+    SoftwareCosts,
+    default_model,
+)
+from repro.sim.rng import DeterministicRng, UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "Bandwidth",
+    "BandwidthLimiter",
+    "BandwidthMeter",
+    "CacheLatency",
+    "DeterministicRng",
+    "LatencyModel",
+    "LinkLatency",
+    "MediaLatency",
+    "SimClock",
+    "SoftwareCosts",
+    "StopWatch",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "default_model",
+]

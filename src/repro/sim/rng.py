@@ -1,0 +1,118 @@
+"""Deterministic random number generation for workloads and policies.
+
+All randomness flows through :class:`DeterministicRng` seeded explicitly,
+so every benchmark and every hypothesis counter-example replays exactly.
+The zipfian generator reproduces the YCSB ``ScrambledZipfian`` behaviour
+used by key-value benchmarks like the paper's.
+"""
+
+import random
+
+from repro.errors import ConfigError
+
+
+class DeterministicRng:
+    """A seeded wrapper around :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed=42):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def randint(self, lo, hi):
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        return self._random.randint(lo, hi)
+
+    def random(self):
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def choice(self, seq):
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq):
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(seq)
+
+    def bytes(self, n):
+        """Return ``n`` pseudo-random bytes."""
+        return self._random.getrandbits(8 * n).to_bytes(n, "little") if n else b""
+
+    def fork(self, label):
+        """Derive an independent child RNG keyed by ``label``.
+
+        Used to give each simulated thread its own stream so adding a
+        thread does not perturb the others' key sequences.
+        """
+        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF) or 1
+        return DeterministicRng(child_seed)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in ``[0, n)`` with YCSB's incremental method.
+
+    Implements the Gray et al. "Quickly generating billion-record synthetic
+    databases" algorithm that YCSB uses, with optional hashing to scatter
+    the hot keys across the keyspace (``scrambled=True``).
+    """
+
+    def __init__(self, n, theta=0.99, rng=None, scrambled=True):
+        if n <= 0:
+            raise ConfigError("zipfian domain must be positive")
+        if not (0 < theta < 1):
+            raise ConfigError("zipfian theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.scrambled = scrambled
+        self._rng = rng or DeterministicRng()
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = ((1 - (2.0 / n) ** (1 - theta))
+                     / (1 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n, theta):
+        # Exact sum for small n; Euler-Maclaurin style approximation above a
+        # threshold to keep construction O(1)-ish for large domains.
+        if n <= 100000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 100001))
+        # integral of x^-theta from 100000 to n
+        tail = ((n ** (1 - theta)) - (100000 ** (1 - theta))) / (1 - theta)
+        return head + tail
+
+    def next(self):
+        """Return the next zipf-distributed value in ``[0, n)``."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self.theta:
+            rank = 1
+        else:
+            rank = int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+            if rank >= self.n:
+                rank = self.n - 1
+        if not self.scrambled:
+            return rank
+        # FNV-1a scramble so hot keys are spread over the keyspace.
+        h = 0xCBF29CE484222325
+        for shift in range(0, 64, 8):
+            h ^= (rank >> shift) & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h % self.n
+
+
+class UniformGenerator:
+    """Uniform integers in ``[0, n)`` behind the same interface."""
+
+    def __init__(self, n, rng=None):
+        if n <= 0:
+            raise ConfigError("uniform domain must be positive")
+        self.n = n
+        self._rng = rng or DeterministicRng()
+
+    def next(self):
+        """Return the next uniform value in ``[0, n)``."""
+        return self._rng.randint(0, self.n - 1)

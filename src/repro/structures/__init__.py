@@ -1,0 +1,17 @@
+"""Volatile data-structure code reused black-box across all backends."""
+
+from repro.structures.blobmap import BlobMap
+from repro.structures.btree import BTree
+from repro.structures.hashmap import HashMap
+from repro.structures.linkedlist import PersistentList
+from repro.structures.ringbuffer import RingBuffer
+from repro.structures.vector import PersistentVector
+
+__all__ = [
+    "BlobMap",
+    "BTree",
+    "HashMap",
+    "PersistentList",
+    "PersistentVector",
+    "RingBuffer",
+]

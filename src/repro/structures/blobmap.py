@@ -1,0 +1,217 @@
+"""A hash map from u64 keys to variable-size byte values.
+
+The u64→u64 :class:`~repro.structures.hashmap.HashMap` matches the
+paper's 8 B microbenchmark; real key-value serving (YCSB proper) carries
+~100 B-1 KiB values, where media bandwidth and write amplification start
+to matter. This map stores values out-of-line:
+
+Layout::
+
+    header: magic | capacity | count | buckets_ptr | seed
+    bucket: u64 head pointer
+    node:   key | value_ptr | value_len | next
+    value:  raw bytes in their own allocation
+
+Updating a value allocates a new blob and frees the old one (PM-friendly:
+no read-modify-write of large ranges), so a crash mid-update leaves either
+the old or the new blob reachable — never a spliced one — under any of
+the crash-consistent backends.
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.structures.hashmap import _mix
+from repro.util.constants import NULL_ADDR, WORD_SIZE
+
+BLOB_MAGIC = 0x504158424C423031     # "PAXBLB01"
+
+_HEADER = StructLayout("blobmap_header", [
+    ("magic", "u64"),
+    ("capacity", "u64"),
+    ("count", "u64"),
+    ("buckets", "u64"),
+    ("seed", "u64"),
+])
+
+_NODE = StructLayout("blobmap_node", [
+    ("key", "u64"),
+    ("value_ptr", "u64"),
+    ("value_len", "u64"),
+    ("next", "u64"),
+])
+
+MAX_LOAD = 2
+
+
+class BlobMap:
+    """u64 -> bytes chained hash map with out-of-line values."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, mem, allocator, capacity=1024, seed=0x424C):
+        """Allocate and initialize an empty map."""
+        if capacity < 1 or capacity & (capacity - 1):
+            raise ReproError("capacity must be a power of two")
+        root = allocator.alloc(_HEADER.size)
+        buckets = allocator.alloc(capacity * WORD_SIZE)
+        mem.memset(buckets, capacity * WORD_SIZE, 0)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("capacity", capacity)
+        hdr.set("count", 0)
+        hdr.set("buckets", buckets)
+        hdr.set("seed", seed)
+        hdr.set("magic", BLOB_MAGIC)
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing map at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != BLOB_MAGIC:
+            raise ReproError("no blob map at offset 0x%x" % root)
+        return instance
+
+    # -- internals ------------------------------------------------------------
+
+    def _bucket_addr(self, key, capacity=None, buckets=None):
+        capacity = capacity if capacity is not None \
+            else self._hdr.get("capacity")
+        buckets = buckets if buckets is not None else self._hdr.get("buckets")
+        index = _mix(key, self._hdr.get("seed")) & (capacity - 1)
+        return buckets + index * WORD_SIZE
+
+    def _find_node(self, key):
+        """Return ``(prev_link_addr, node)``; node is 0 if absent."""
+        bucket = self._bucket_addr(key)
+        prev_link = bucket
+        node = self._mem.read_u64(bucket)
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            if view.get("key") == key:
+                return prev_link, node
+            prev_link = view.field_addr("next")
+            node = view.get("next")
+        return prev_link, NULL_ADDR
+
+    def _store_value(self, view, value):
+        blob = self._alloc.alloc(max(1, len(value)))
+        if value:
+            self._mem.write(blob, value)
+        view.set("value_ptr", blob)
+        view.set("value_len", len(value))
+
+    def _free_value(self, view):
+        old_ptr = view.get("value_ptr")
+        old_len = view.get("value_len")
+        if old_ptr != NULL_ADDR:
+            self._alloc.free(old_ptr, max(1, old_len))
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, key, value):
+        """Insert or replace; returns True on a fresh insert."""
+        value = bytes(value)
+        _prev, node = self._find_node(key)
+        if node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            # New blob first, then swing the pointer: a torn update leaves
+            # the old value reachable, never a mix.
+            old_view_ptr = view.get("value_ptr")
+            old_len = view.get("value_len")
+            self._store_value(view, value)
+            if old_view_ptr != NULL_ADDR:
+                self._alloc.free(old_view_ptr, max(1, old_len))
+            return False
+        bucket = self._bucket_addr(key)
+        head = self._mem.read_u64(bucket)
+        node = self._alloc.alloc(_NODE.size)
+        view = _NODE.view(self._mem, node)
+        view.set("key", key)
+        self._store_value(view, value)
+        view.set("next", head)
+        self._mem.write_u64(bucket, node)
+        count = self._hdr.get("count") + 1
+        self._hdr.set("count", count)
+        if count > self._hdr.get("capacity") * MAX_LOAD:
+            self._grow()
+        return True
+
+    def get(self, key, default=None):
+        """Return the value bytes for ``key`` (or ``default``)."""
+        _prev, node = self._find_node(key)
+        if node == NULL_ADDR:
+            return default
+        view = _NODE.view(self._mem, node)
+        length = view.get("value_len")
+        if length == 0:
+            return b""
+        return self._mem.read(view.get("value_ptr"), length)
+
+    def remove(self, key):
+        """Delete ``key``; returns True if present."""
+        prev_link, node = self._find_node(key)
+        if node == NULL_ADDR:
+            return False
+        view = _NODE.view(self._mem, node)
+        self._mem.write_u64(prev_link, view.get("next"))
+        self._free_value(view)
+        self._alloc.free(node, _NODE.size)
+        self._hdr.set("count", self._hdr.get("count") - 1)
+        return True
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return self._hdr.get("count")
+
+    def _grow(self):
+        old_capacity = self._hdr.get("capacity")
+        old_buckets = self._hdr.get("buckets")
+        new_capacity = old_capacity * 2
+        new_buckets = self._alloc.alloc(new_capacity * WORD_SIZE)
+        self._mem.memset(new_buckets, new_capacity * WORD_SIZE, 0)
+        for index in range(old_capacity):
+            node = self._mem.read_u64(old_buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                next_node = view.get("next")
+                target = self._bucket_addr(view.get("key"),
+                                           capacity=new_capacity,
+                                           buckets=new_buckets)
+                view.set("next", self._mem.read_u64(target))
+                self._mem.write_u64(target, node)
+                node = next_node
+        self._hdr.set("buckets", new_buckets)
+        self._hdr.set("capacity", new_capacity)
+        self._alloc.free(old_buckets, old_capacity * WORD_SIZE)
+
+    # -- iteration ------------------------------------------------------------
+
+    def items(self):
+        """Yield ``(key, value_bytes)`` pairs."""
+        capacity = self._hdr.get("capacity")
+        buckets = self._hdr.get("buckets")
+        for index in range(capacity):
+            node = self._mem.read_u64(buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                length = view.get("value_len")
+                value = (self._mem.read(view.get("value_ptr"), length)
+                         if length else b"")
+                yield view.get("key"), value
+                node = view.get("next")
+
+    def to_dict(self):
+        """Materialize as a Python dict (verification helper)."""
+        return dict(self.items())
+
+    def __repr__(self):
+        return "BlobMap(root=0x%x, len=%d)" % (self.root, len(self))

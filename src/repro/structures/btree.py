@@ -1,0 +1,436 @@
+"""A B-tree (u64 -> u64) over a memory accessor.
+
+An ordered-index counterpart to the hash map: node splits touch many
+lines across three nodes, making it a stress case for snapshot
+consistency. This is the classic CLRS B-tree — every key (with its value)
+lives in exactly one node — with single-pass preemptive-split insertion,
+so no parent pointers are needed.
+
+Node layout (one 192 B allocation)::
+
+    nkeys | is_leaf | keys[7] | values[7] | children[8]
+
+``MAX_KEYS`` = 7 (fanout 8). Deletion implements the full CLRS algorithm
+(borrow from siblings or merge, recursing with a guaranteed-non-minimal
+child).
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+
+BTREE_MAGIC = 0x5041584254523031     # "PAXBTR01"
+
+MAX_KEYS = 7
+#: Minimum keys in any non-root node: t - 1 where t = ceil((MAX_KEYS+1)/2).
+MIN_KEYS = (MAX_KEYS + 1) // 2 - 1
+
+_HEADER = StructLayout("btree_header", [
+    ("magic", "u64"),
+    ("root_node", "u64"),
+    ("count", "u64"),
+])
+
+_NODE = StructLayout("btree_node", [
+    ("nkeys", "u64"),
+    ("is_leaf", "u64"),
+    ("keys", "u64:%d" % MAX_KEYS),
+    ("values", "u64:%d" % MAX_KEYS),
+    ("children", "u64:%d" % (MAX_KEYS + 1)),
+])
+
+
+class BTree:
+    """Ordered u64 -> u64 map with range iteration and deletion."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, mem, allocator):
+        """Allocate and initialize an empty tree."""
+        root = allocator.alloc(_HEADER.size)
+        hdr = _HEADER.view(mem, root)
+        instance = cls(mem, allocator, root)
+        leaf = instance._new_node(is_leaf=True)
+        hdr.set("root_node", leaf)
+        hdr.set("count", 0)
+        hdr.set("magic", BTREE_MAGIC)
+        return instance
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing tree at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != BTREE_MAGIC:
+            raise ReproError("no B-tree at offset 0x%x" % root)
+        return instance
+
+    def _new_node(self, is_leaf):
+        node = self._alloc.alloc(_NODE.size)
+        view = _NODE.view(self._mem, node)
+        view.set("nkeys", 0)
+        view.set("is_leaf", 1 if is_leaf else 0)
+        return node
+
+    def _view(self, node):
+        return _NODE.view(self._mem, node)
+
+    # -- search ------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        """Return the value for ``key`` (or ``default``)."""
+        node = self._hdr.get("root_node")
+        while True:
+            view = self._view(node)
+            nkeys = view.get("nkeys")
+            index = 0
+            while index < nkeys and view.get("keys", index=index) < key:
+                index += 1
+            if index < nkeys and view.get("keys", index=index) == key:
+                return view.get("values", index=index)
+            if view.get("is_leaf"):
+                return default
+            node = view.get("children", index=index)
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return self._hdr.get("count")
+
+    # -- insert ---------------------------------------------------------------------
+
+    def put(self, key, value):
+        """Insert or update; returns True if a new key was inserted."""
+        root_node = self._hdr.get("root_node")
+        if self._view(root_node).get("nkeys") == MAX_KEYS:
+            new_root = self._new_node(is_leaf=False)
+            self._view(new_root).set("children", root_node, index=0)
+            self._split_child(new_root, 0)
+            self._hdr.set("root_node", new_root)
+            root_node = new_root
+        inserted = self._insert_nonfull(root_node, key, value)
+        if inserted:
+            self._hdr.set("count", len(self) + 1)
+        return inserted
+
+    def _split_child(self, parent, child_index):
+        """Split the full child at ``child_index`` of non-full ``parent``."""
+        parent_view = self._view(parent)
+        child = parent_view.get("children", index=child_index)
+        child_view = self._view(child)
+        is_leaf = bool(child_view.get("is_leaf"))
+        sibling = self._new_node(is_leaf=is_leaf)
+        sibling_view = self._view(sibling)
+        mid = MAX_KEYS // 2
+        mid_key = child_view.get("keys", index=mid)
+        mid_value = child_view.get("values", index=mid)
+        moved = 0
+        for index in range(mid + 1, MAX_KEYS):
+            sibling_view.set("keys", child_view.get("keys", index=index),
+                             index=moved)
+            sibling_view.set("values", child_view.get("values", index=index),
+                             index=moved)
+            moved += 1
+        if not is_leaf:
+            for index in range(mid + 1, MAX_KEYS + 1):
+                sibling_view.set("children",
+                                 child_view.get("children", index=index),
+                                 index=index - (mid + 1))
+        sibling_view.set("nkeys", moved)
+        child_view.set("nkeys", mid)
+        parent_keys = parent_view.get("nkeys")
+        for index in range(parent_keys, child_index, -1):
+            parent_view.set("keys", parent_view.get("keys", index=index - 1),
+                            index=index)
+            parent_view.set("values",
+                            parent_view.get("values", index=index - 1),
+                            index=index)
+        for index in range(parent_keys + 1, child_index + 1, -1):
+            parent_view.set("children",
+                            parent_view.get("children", index=index - 1),
+                            index=index)
+        parent_view.set("keys", mid_key, index=child_index)
+        parent_view.set("values", mid_value, index=child_index)
+        parent_view.set("children", sibling, index=child_index + 1)
+        parent_view.set("nkeys", parent_keys + 1)
+
+    def _insert_nonfull(self, node, key, value):
+        while True:
+            view = self._view(node)
+            nkeys = view.get("nkeys")
+            index = 0
+            while index < nkeys and view.get("keys", index=index) < key:
+                index += 1
+            if index < nkeys and view.get("keys", index=index) == key:
+                view.set("values", value, index=index)
+                return False
+            if view.get("is_leaf"):
+                for shift in range(nkeys, index, -1):
+                    view.set("keys", view.get("keys", index=shift - 1),
+                             index=shift)
+                    view.set("values", view.get("values", index=shift - 1),
+                             index=shift)
+                view.set("keys", key, index=index)
+                view.set("values", value, index=index)
+                view.set("nkeys", nkeys + 1)
+                return True
+            child = view.get("children", index=index)
+            if self._view(child).get("nkeys") == MAX_KEYS:
+                self._split_child(node, index)
+                separator = view.get("keys", index=index)
+                if key == separator:
+                    view.set("values", value, index=index)
+                    return False
+                if key > separator:
+                    index += 1
+            node = view.get("children", index=index)
+
+    # -- delete (CLRS full algorithm) ----------------------------------------------
+
+    def remove(self, key):
+        """Delete ``key``; returns True if it was present."""
+        if self.get(key) is None:
+            return False
+        root_node = self._hdr.get("root_node")
+        self._delete(root_node, key)
+        root_view = self._view(root_node)
+        if root_view.get("nkeys") == 0 and not root_view.get("is_leaf"):
+            # Shrink the tree: the root's sole child becomes the root.
+            self._hdr.set("root_node", root_view.get("children", index=0))
+            self._alloc.free(root_node, _NODE.size)
+        self._hdr.set("count", len(self) - 1)
+        return True
+
+    def _delete(self, node, key):
+        view = self._view(node)
+        nkeys = view.get("nkeys")
+        index = 0
+        while index < nkeys and view.get("keys", index=index) < key:
+            index += 1
+        if index < nkeys and view.get("keys", index=index) == key:
+            if view.get("is_leaf"):
+                self._remove_at_leaf(view, index, nkeys)
+                return
+            self._delete_internal(node, index, key)
+            return
+        if view.get("is_leaf"):
+            raise ReproError("key %d vanished mid-delete" % key)
+        child_index = index
+        child = self._ensure_rich_child(node, child_index)
+        self._delete(child, key)
+
+    @staticmethod
+    def _remove_at_leaf(view, index, nkeys):
+        for shift in range(index, nkeys - 1):
+            view.set("keys", view.get("keys", index=shift + 1), index=shift)
+            view.set("values", view.get("values", index=shift + 1),
+                     index=shift)
+        view.set("nkeys", nkeys - 1)
+
+    def _delete_internal(self, node, index, key):
+        view = self._view(node)
+        left = view.get("children", index=index)
+        right = view.get("children", index=index + 1)
+        if self._view(left).get("nkeys") > MIN_KEYS:
+            pred_key, pred_value = self._max_of(left)
+            view.set("keys", pred_key, index=index)
+            view.set("values", pred_value, index=index)
+            self._delete(left, pred_key)
+        elif self._view(right).get("nkeys") > MIN_KEYS:
+            succ_key, succ_value = self._min_of(right)
+            view.set("keys", succ_key, index=index)
+            view.set("values", succ_value, index=index)
+            self._delete(right, succ_key)
+        else:
+            self._merge_children(node, index)
+            self._delete(left, key)
+
+    def _max_of(self, node):
+        while True:
+            view = self._view(node)
+            nkeys = view.get("nkeys")
+            if view.get("is_leaf"):
+                return (view.get("keys", index=nkeys - 1),
+                        view.get("values", index=nkeys - 1))
+            node = view.get("children", index=nkeys)
+
+    def _min_of(self, node):
+        while True:
+            view = self._view(node)
+            if view.get("is_leaf"):
+                return view.get("keys", index=0), view.get("values", index=0)
+            node = view.get("children", index=0)
+
+    def _ensure_rich_child(self, node, child_index):
+        """Make sure child has > MIN_KEYS keys before descending into it."""
+        view = self._view(node)
+        child = view.get("children", index=child_index)
+        if self._view(child).get("nkeys") > MIN_KEYS:
+            return child
+        nkeys = view.get("nkeys")
+        if child_index > 0:
+            left = view.get("children", index=child_index - 1)
+            if self._view(left).get("nkeys") > MIN_KEYS:
+                self._rotate_right(node, child_index - 1)
+                return child
+        if child_index < nkeys:
+            right = view.get("children", index=child_index + 1)
+            if self._view(right).get("nkeys") > MIN_KEYS:
+                self._rotate_left(node, child_index)
+                return child
+        # Merge with a sibling; the merged node is the left one.
+        if child_index < nkeys:
+            self._merge_children(node, child_index)
+            return child
+        self._merge_children(node, child_index - 1)
+        return view.get("children", index=child_index - 1)
+
+    def _rotate_right(self, node, sep_index):
+        """Move a key from the left sibling up, and the separator down."""
+        view = self._view(node)
+        left = view.get("children", index=sep_index)
+        right = view.get("children", index=sep_index + 1)
+        left_view = self._view(left)
+        right_view = self._view(right)
+        right_keys = right_view.get("nkeys")
+        for shift in range(right_keys, 0, -1):
+            right_view.set("keys", right_view.get("keys", index=shift - 1),
+                           index=shift)
+            right_view.set("values", right_view.get("values", index=shift - 1),
+                           index=shift)
+        if not right_view.get("is_leaf"):
+            for shift in range(right_keys + 1, 0, -1):
+                right_view.set("children",
+                               right_view.get("children", index=shift - 1),
+                               index=shift)
+        right_view.set("keys", view.get("keys", index=sep_index), index=0)
+        right_view.set("values", view.get("values", index=sep_index), index=0)
+        left_keys = left_view.get("nkeys")
+        if not right_view.get("is_leaf"):
+            right_view.set("children",
+                           left_view.get("children", index=left_keys), index=0)
+        view.set("keys", left_view.get("keys", index=left_keys - 1),
+                 index=sep_index)
+        view.set("values", left_view.get("values", index=left_keys - 1),
+                 index=sep_index)
+        left_view.set("nkeys", left_keys - 1)
+        right_view.set("nkeys", right_keys + 1)
+
+    def _rotate_left(self, node, sep_index):
+        """Move a key from the right sibling up, and the separator down."""
+        view = self._view(node)
+        left = view.get("children", index=sep_index)
+        right = view.get("children", index=sep_index + 1)
+        left_view = self._view(left)
+        right_view = self._view(right)
+        left_keys = left_view.get("nkeys")
+        left_view.set("keys", view.get("keys", index=sep_index),
+                      index=left_keys)
+        left_view.set("values", view.get("values", index=sep_index),
+                      index=left_keys)
+        if not left_view.get("is_leaf"):
+            left_view.set("children", right_view.get("children", index=0),
+                          index=left_keys + 1)
+        view.set("keys", right_view.get("keys", index=0), index=sep_index)
+        view.set("values", right_view.get("values", index=0), index=sep_index)
+        right_keys = right_view.get("nkeys")
+        for shift in range(right_keys - 1):
+            right_view.set("keys", right_view.get("keys", index=shift + 1),
+                           index=shift)
+            right_view.set("values", right_view.get("values", index=shift + 1),
+                           index=shift)
+        if not right_view.get("is_leaf"):
+            for shift in range(right_keys):
+                right_view.set("children",
+                               right_view.get("children", index=shift + 1),
+                               index=shift)
+        right_view.set("nkeys", right_keys - 1)
+        left_view.set("nkeys", left_keys + 1)
+
+    def _merge_children(self, node, sep_index):
+        """Merge children around separator ``sep_index`` into the left one."""
+        view = self._view(node)
+        left = view.get("children", index=sep_index)
+        right = view.get("children", index=sep_index + 1)
+        left_view = self._view(left)
+        right_view = self._view(right)
+        left_keys = left_view.get("nkeys")
+        right_keys = right_view.get("nkeys")
+        left_view.set("keys", view.get("keys", index=sep_index),
+                      index=left_keys)
+        left_view.set("values", view.get("values", index=sep_index),
+                      index=left_keys)
+        for index in range(right_keys):
+            left_view.set("keys", right_view.get("keys", index=index),
+                          index=left_keys + 1 + index)
+            left_view.set("values", right_view.get("values", index=index),
+                          index=left_keys + 1 + index)
+        if not left_view.get("is_leaf"):
+            for index in range(right_keys + 1):
+                left_view.set("children",
+                              right_view.get("children", index=index),
+                              index=left_keys + 1 + index)
+        left_view.set("nkeys", left_keys + 1 + right_keys)
+        nkeys = view.get("nkeys")
+        for shift in range(sep_index, nkeys - 1):
+            view.set("keys", view.get("keys", index=shift + 1), index=shift)
+            view.set("values", view.get("values", index=shift + 1),
+                     index=shift)
+        for shift in range(sep_index + 1, nkeys):
+            view.set("children", view.get("children", index=shift + 1),
+                     index=shift)
+        view.set("nkeys", nkeys - 1)
+        self._alloc.free(right, _NODE.size)
+
+    # -- iteration ------------------------------------------------------------------
+
+    def items(self, lo=None, hi=None):
+        """Yield ``(key, value)`` pairs in key order, within ``[lo, hi]``."""
+        for key, value in self._walk(self._hdr.get("root_node")):
+            if lo is not None and key < lo:
+                continue
+            if hi is not None and key > hi:
+                return
+            yield key, value
+
+    def _walk(self, node):
+        view = self._view(node)
+        nkeys = view.get("nkeys")
+        if view.get("is_leaf"):
+            for index in range(nkeys):
+                yield (view.get("keys", index=index),
+                       view.get("values", index=index))
+            return
+        for index in range(nkeys):
+            yield from self._walk(view.get("children", index=index))
+            yield (view.get("keys", index=index),
+                   view.get("values", index=index))
+        yield from self._walk(view.get("children", index=nkeys))
+
+    def keys(self):
+        """Yield keys in order."""
+        for key, _value in self.items():
+            yield key
+
+    def to_dict(self):
+        """Materialize as a Python dict (verification helper)."""
+        return dict(self.items())
+
+    def check_order(self):
+        """Verify in-order keys are strictly increasing; raises otherwise."""
+        previous = None
+        for key in self.keys():
+            if previous is not None and key <= previous:
+                raise ReproError("B-tree order violated: %d after %d"
+                                 % (key, previous))
+            previous = key
+        return True
+
+    def __repr__(self):
+        return "BTree(root=0x%x, len=%d)" % (self.root, len(self))

@@ -1,0 +1,206 @@
+"""A chained hash map over a memory accessor — the paper's hash table.
+
+This is the reproduction's analog of ``std::unordered_map`` /
+``tbb::concurrent_hash_map`` with a custom allocator: plain *volatile*
+data-structure code, written with no knowledge of persistence. The same
+class runs over DRAM, PM-direct, PMDK-transactional, page-fault-tracked,
+and vPM-via-PAX accessors; only the accessor differs. Keys and values are
+u64 (the paper's benchmark uses 8 B keys and values).
+
+On-memory layout (structure-space offsets, all fields u64)::
+
+    header:  magic | capacity | count | buckets_ptr | seed
+    buckets: capacity contiguous head pointers
+    node:    key | value | next
+
+The map resizes (doubling, full rehash by relinking) when the load factor
+exceeds 2. Resize is deliberately a long multi-store operation — it is
+precisely the kind of interrupted operation crash-consistency schemes
+must cope with, and the crash tests cut it in half on purpose.
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.util.constants import NULL_ADDR, WORD_SIZE
+
+MAP_MAGIC = 0x5041584D41503031     # "PAXMAP01"
+
+_HEADER = StructLayout("hashmap_header", [
+    ("magic", "u64"),
+    ("capacity", "u64"),
+    ("count", "u64"),
+    ("buckets", "u64"),
+    ("seed", "u64"),
+])
+
+_NODE = StructLayout("hashmap_node", [
+    ("key", "u64"),
+    ("value", "u64"),
+    ("next", "u64"),
+])
+
+#: Grow when count exceeds capacity * MAX_LOAD.
+MAX_LOAD = 2
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(key, seed):
+    """splitmix64 finalizer — cheap, well-distributed u64 hash."""
+    h = (key + seed + 0x9E3779B97F4A7C15) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return h ^ (h >> 31)
+
+
+class HashMap:
+    """u64 -> u64 chained hash map."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, mem, allocator, capacity=1024, seed=0x5157):
+        """Allocate and initialize an empty map; returns the instance."""
+        if capacity < 1 or capacity & (capacity - 1):
+            raise ReproError("capacity must be a power of two")
+        root = allocator.alloc(_HEADER.size)
+        buckets = allocator.alloc(capacity * WORD_SIZE)
+        mem.memset(buckets, capacity * WORD_SIZE, 0)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("capacity", capacity)
+        hdr.set("count", 0)
+        hdr.set("buckets", buckets)
+        hdr.set("seed", seed)
+        hdr.set("magic", MAP_MAGIC)
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing map at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != MAP_MAGIC:
+            raise ReproError("no hash map at offset 0x%x" % root)
+        return instance
+
+    # -- core operations --------------------------------------------------------
+
+    def _bucket_addr(self, key, capacity=None, buckets=None):
+        capacity = capacity if capacity is not None else self._hdr.get("capacity")
+        buckets = buckets if buckets is not None else self._hdr.get("buckets")
+        index = _mix(key, self._hdr.get("seed")) & (capacity - 1)
+        return buckets + index * WORD_SIZE
+
+    def put(self, key, value):
+        """Insert or update; returns True if a new key was inserted."""
+        bucket = self._bucket_addr(key)
+        node = self._mem.read_u64(bucket)
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            if view.get("key") == key:
+                view.set("value", value)
+                return False
+            node = view.get("next")
+        head = self._mem.read_u64(bucket)
+        node = self._alloc.alloc(_NODE.size)
+        view = _NODE.view(self._mem, node)
+        view.set("key", key)
+        view.set("value", value)
+        view.set("next", head)
+        self._mem.write_u64(bucket, node)
+        count = self._hdr.get("count") + 1
+        self._hdr.set("count", count)
+        if count > self._hdr.get("capacity") * MAX_LOAD:
+            self._grow()
+        return True
+
+    def get(self, key, default=None):
+        """Return the value for ``key`` (or ``default``)."""
+        node = self._mem.read_u64(self._bucket_addr(key))
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            if view.get("key") == key:
+                return view.get("value")
+            node = view.get("next")
+        return default
+
+    def remove(self, key):
+        """Delete ``key``; returns True if it was present."""
+        bucket = self._bucket_addr(key)
+        prev_link = bucket
+        node = self._mem.read_u64(bucket)
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            if view.get("key") == key:
+                self._mem.write_u64(prev_link, view.get("next"))
+                self._alloc.free(node, _NODE.size)
+                self._hdr.set("count", self._hdr.get("count") - 1)
+                return True
+            prev_link = view.field_addr("next")
+            node = view.get("next")
+        return False
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return self._hdr.get("count")
+
+    # -- resize -------------------------------------------------------------------
+
+    def _grow(self):
+        """Double the bucket array and relink every node."""
+        old_capacity = self._hdr.get("capacity")
+        old_buckets = self._hdr.get("buckets")
+        new_capacity = old_capacity * 2
+        new_buckets = self._alloc.alloc(new_capacity * WORD_SIZE)
+        self._mem.memset(new_buckets, new_capacity * WORD_SIZE, 0)
+        for index in range(old_capacity):
+            node = self._mem.read_u64(old_buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                next_node = view.get("next")
+                target = self._bucket_addr(view.get("key"),
+                                           capacity=new_capacity,
+                                           buckets=new_buckets)
+                view.set("next", self._mem.read_u64(target))
+                self._mem.write_u64(target, node)
+                node = next_node
+        self._hdr.set("buckets", new_buckets)
+        self._hdr.set("capacity", new_capacity)
+        self._alloc.free(old_buckets, old_capacity * WORD_SIZE)
+
+    # -- iteration ------------------------------------------------------------------
+
+    def items(self):
+        """Yield ``(key, value)`` pairs (no particular order)."""
+        capacity = self._hdr.get("capacity")
+        buckets = self._hdr.get("buckets")
+        for index in range(capacity):
+            node = self._mem.read_u64(buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                yield view.get("key"), view.get("value")
+                node = view.get("next")
+
+    def keys(self):
+        """Yield all keys."""
+        for key, _value in self.items():
+            yield key
+
+    def to_dict(self):
+        """Materialize as a Python dict (verification helper)."""
+        return dict(self.items())
+
+    @property
+    def capacity(self):
+        """Current bucket count."""
+        return self._hdr.get("capacity")
+
+    def __repr__(self):
+        return "HashMap(root=0x%x, len=%d)" % (self.root, len(self))

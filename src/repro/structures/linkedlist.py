@@ -1,0 +1,163 @@
+"""A doubly-linked list of u64 over a memory accessor.
+
+Linked structures stress crash consistency differently from arrays: a
+single logical operation rewires several pointers in distinct cache
+lines, so a crash can strand half-linked nodes. The crash tests verify
+that snapshots never expose such states through PAX.
+
+Layout::
+
+    header: magic | head | tail | count
+    node:   value | prev | next
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.util.constants import NULL_ADDR
+
+LIST_MAGIC = 0x5041584C53543031     # "PAXLST01"
+
+_HEADER = StructLayout("list_header", [
+    ("magic", "u64"),
+    ("head", "u64"),
+    ("tail", "u64"),
+    ("count", "u64"),
+])
+
+_NODE = StructLayout("list_node", [
+    ("value", "u64"),
+    ("prev", "u64"),
+    ("next", "u64"),
+])
+
+
+class PersistentList:
+    """Doubly-linked u64 list with O(1) push/pop at both ends."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    @classmethod
+    def create(cls, mem, allocator):
+        """Allocate and initialize an empty list."""
+        root = allocator.alloc(_HEADER.size)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("head", NULL_ADDR)
+        hdr.set("tail", NULL_ADDR)
+        hdr.set("count", 0)
+        hdr.set("magic", LIST_MAGIC)
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing list at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != LIST_MAGIC:
+            raise ReproError("no list at offset 0x%x" % root)
+        return instance
+
+    def __len__(self):
+        return self._hdr.get("count")
+
+    def _new_node(self, value, prev, next_):
+        node = self._alloc.alloc(_NODE.size)
+        view = _NODE.view(self._mem, node)
+        view.set("value", value)
+        view.set("prev", prev)
+        view.set("next", next_)
+        return node
+
+    def push_front(self, value):
+        """Prepend ``value``."""
+        head = self._hdr.get("head")
+        node = self._new_node(value, NULL_ADDR, head)
+        if head != NULL_ADDR:
+            _NODE.view(self._mem, head).set("prev", node)
+        else:
+            self._hdr.set("tail", node)
+        self._hdr.set("head", node)
+        self._hdr.set("count", len(self) + 1)
+
+    def push_back(self, value):
+        """Append ``value``."""
+        tail = self._hdr.get("tail")
+        node = self._new_node(value, tail, NULL_ADDR)
+        if tail != NULL_ADDR:
+            _NODE.view(self._mem, tail).set("next", node)
+        else:
+            self._hdr.set("head", node)
+        self._hdr.set("tail", node)
+        self._hdr.set("count", len(self) + 1)
+
+    def pop_front(self):
+        """Remove and return the first value."""
+        head = self._hdr.get("head")
+        if head == NULL_ADDR:
+            raise IndexError("pop from empty list")
+        view = _NODE.view(self._mem, head)
+        value = view.get("value")
+        next_node = view.get("next")
+        self._hdr.set("head", next_node)
+        if next_node != NULL_ADDR:
+            _NODE.view(self._mem, next_node).set("prev", NULL_ADDR)
+        else:
+            self._hdr.set("tail", NULL_ADDR)
+        self._alloc.free(head, _NODE.size)
+        self._hdr.set("count", len(self) - 1)
+        return value
+
+    def pop_back(self):
+        """Remove and return the last value."""
+        tail = self._hdr.get("tail")
+        if tail == NULL_ADDR:
+            raise IndexError("pop from empty list")
+        view = _NODE.view(self._mem, tail)
+        value = view.get("value")
+        prev_node = view.get("prev")
+        self._hdr.set("tail", prev_node)
+        if prev_node != NULL_ADDR:
+            _NODE.view(self._mem, prev_node).set("next", NULL_ADDR)
+        else:
+            self._hdr.set("head", NULL_ADDR)
+        self._alloc.free(tail, _NODE.size)
+        self._hdr.set("count", len(self) - 1)
+        return value
+
+    def __iter__(self):
+        node = self._hdr.get("head")
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            yield view.get("value")
+            node = view.get("next")
+
+    def to_list(self):
+        """Materialize as a Python list (verification helper)."""
+        return list(self)
+
+    def check_links(self):
+        """Verify prev/next symmetry and count; raises on corruption.
+
+        Used by the crash checker: a torn snapshot of a half-linked node
+        fails here.
+        """
+        count = 0
+        prev = NULL_ADDR
+        node = self._hdr.get("head")
+        while node != NULL_ADDR:
+            view = _NODE.view(self._mem, node)
+            if view.get("prev") != prev:
+                raise ReproError("broken prev link at node 0x%x" % node)
+            prev = node
+            node = view.get("next")
+            count += 1
+        if prev != self._hdr.get("tail"):
+            raise ReproError("tail pointer does not match last node")
+        if count != len(self):
+            raise ReproError("count %d != linked nodes %d" % (len(self), count))
+        return count
+
+    def __repr__(self):
+        return "PersistentList(root=0x%x, len=%d)" % (self.root, len(self))

@@ -1,0 +1,136 @@
+"""A bounded FIFO ring buffer of u64 over a memory accessor.
+
+The classic persistent-queue shape (log shipping, task queues): a fixed
+slot array plus head/tail counters. Like the other structures, it is
+persistence-oblivious volatile code; head and tail live in separate cache
+lines so an enqueue and a dequeue dirty disjoint lines — which makes it a
+good crash-consistency specimen (a torn enqueue = tail bumped without the
+slot written, or vice versa).
+
+Layout::
+
+    header: magic | capacity | head | pad | tail   (head/tail line-split)
+    slots:  capacity contiguous u64 elements
+
+``head`` and ``tail`` are free-running counters; slot index is
+``counter % capacity``. Empty: head == tail. Full: tail - head == capacity.
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.util.constants import WORD_SIZE
+
+RING_MAGIC = 0x504158524E473031     # "PAXRNG01"
+
+_HEADER = StructLayout("ring_header", [
+    ("magic", "u64"),
+    ("capacity", "u64"),
+    ("head", "u64"),
+    # Pad so tail starts a new cache line: producers and consumers dirty
+    # different lines (no false sharing, and crash-separable effects).
+    ("pad", "u64:6"),
+    ("tail", "u64"),
+])
+
+
+class RingBuffer:
+    """Bounded FIFO of u64 values."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    @classmethod
+    def create(cls, mem, allocator, capacity=256):
+        """Allocate and initialize an empty ring of ``capacity`` slots."""
+        if capacity < 1:
+            raise ReproError("ring capacity must be at least 1")
+        root = allocator.alloc(_HEADER.size + capacity * WORD_SIZE)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("capacity", capacity)
+        hdr.set("head", 0)
+        hdr.set("tail", 0)
+        hdr.set("magic", RING_MAGIC)
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing ring at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != RING_MAGIC:
+            raise ReproError("no ring buffer at offset 0x%x" % root)
+        return instance
+
+    def _slot_addr(self, counter):
+        capacity = self._hdr.get("capacity")
+        return (self.root + _HEADER.size
+                + (counter % capacity) * WORD_SIZE)
+
+    def __len__(self):
+        return self._hdr.get("tail") - self._hdr.get("head")
+
+    @property
+    def capacity(self):
+        """Slot count."""
+        return self._hdr.get("capacity")
+
+    def is_empty(self):
+        """True when no values are queued."""
+        return len(self) == 0
+
+    def is_full(self):
+        """True when every slot is occupied."""
+        return len(self) >= self.capacity
+
+    def enqueue(self, value):
+        """Append ``value``; raises IndexError when full."""
+        tail = self._hdr.get("tail")
+        if tail - self._hdr.get("head") >= self.capacity:
+            raise IndexError("ring buffer full")
+        # Slot first, then the tail bump publishes it — the order that
+        # makes a torn enqueue invisible rather than garbage-visible.
+        self._mem.write_u64(self._slot_addr(tail), value)
+        self._hdr.set("tail", tail + 1)
+
+    def dequeue(self):
+        """Pop the oldest value; raises IndexError when empty."""
+        head = self._hdr.get("head")
+        if self._hdr.get("tail") == head:
+            raise IndexError("ring buffer empty")
+        value = self._mem.read_u64(self._slot_addr(head))
+        self._hdr.set("head", head + 1)
+        return value
+
+    def peek(self):
+        """Oldest value without removing it."""
+        head = self._hdr.get("head")
+        if self._hdr.get("tail") == head:
+            raise IndexError("ring buffer empty")
+        return self._mem.read_u64(self._slot_addr(head))
+
+    def __iter__(self):
+        head = self._hdr.get("head")
+        tail = self._hdr.get("tail")
+        for counter in range(head, tail):
+            yield self._mem.read_u64(self._slot_addr(counter))
+
+    def to_list(self):
+        """Materialize contents oldest-first (verification helper)."""
+        return list(self)
+
+    def check_invariants(self):
+        """head <= tail and occupancy within capacity; raises otherwise."""
+        head = self._hdr.get("head")
+        tail = self._hdr.get("tail")
+        if tail < head:
+            raise ReproError("ring tail %d behind head %d" % (tail, head))
+        if tail - head > self.capacity:
+            raise ReproError("ring over-full: %d > %d"
+                             % (tail - head, self.capacity))
+        return True
+
+    def __repr__(self):
+        return "RingBuffer(root=0x%x, %d/%d)" % (self.root, len(self),
+                                                 self.capacity)

@@ -1,0 +1,111 @@
+"""A growable array of u64 over a memory accessor.
+
+Volatile ``std::vector``-style code, persistence-oblivious like the hash
+map. Growth reallocates and copies — another multi-store operation crash
+consistency must survive.
+
+Layout::
+
+    header: magic | length | capacity | data_ptr
+    data:   capacity contiguous u64 elements
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.util.constants import WORD_SIZE
+
+VECTOR_MAGIC = 0x5041585645433031     # "PAXVEC01"
+
+_HEADER = StructLayout("vector_header", [
+    ("magic", "u64"),
+    ("length", "u64"),
+    ("capacity", "u64"),
+    ("data", "u64"),
+])
+
+
+class PersistentVector:
+    """Append-mostly u64 vector."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+
+    @classmethod
+    def create(cls, mem, allocator, capacity=64):
+        """Allocate and initialize an empty vector."""
+        if capacity < 1:
+            raise ReproError("capacity must be at least 1")
+        root = allocator.alloc(_HEADER.size)
+        data = allocator.alloc(capacity * WORD_SIZE)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("length", 0)
+        hdr.set("capacity", capacity)
+        hdr.set("data", data)
+        hdr.set("magic", VECTOR_MAGIC)
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing vector at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != VECTOR_MAGIC:
+            raise ReproError("no vector at offset 0x%x" % root)
+        return instance
+
+    def _element_addr(self, index):
+        length = self._hdr.get("length")
+        if not 0 <= index < length:
+            raise IndexError("index %d out of range (len=%d)" % (index, length))
+        return self._hdr.get("data") + index * WORD_SIZE
+
+    def __len__(self):
+        return self._hdr.get("length")
+
+    def __getitem__(self, index):
+        return self._mem.read_u64(self._element_addr(index))
+
+    def __setitem__(self, index, value):
+        self._mem.write_u64(self._element_addr(index), value)
+
+    def append(self, value):
+        """Push ``value``, growing the backing array if needed."""
+        length = self._hdr.get("length")
+        capacity = self._hdr.get("capacity")
+        if length == capacity:
+            self._grow(capacity * 2)
+        self._mem.write_u64(self._hdr.get("data") + length * WORD_SIZE, value)
+        self._hdr.set("length", length + 1)
+
+    def pop(self):
+        """Remove and return the last element."""
+        length = self._hdr.get("length")
+        if length == 0:
+            raise IndexError("pop from empty vector")
+        value = self._mem.read_u64(self._hdr.get("data")
+                                   + (length - 1) * WORD_SIZE)
+        self._hdr.set("length", length - 1)
+        return value
+
+    def _grow(self, new_capacity):
+        old_data = self._hdr.get("data")
+        old_capacity = self._hdr.get("capacity")
+        length = self._hdr.get("length")
+        new_data = self._alloc.alloc(new_capacity * WORD_SIZE)
+        self._mem.memcpy(new_data, old_data, length * WORD_SIZE)
+        self._hdr.set("data", new_data)
+        self._hdr.set("capacity", new_capacity)
+        self._alloc.free(old_data, old_capacity * WORD_SIZE)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def to_list(self):
+        """Materialize as a Python list (verification helper)."""
+        return list(self)
+
+    def __repr__(self):
+        return "PersistentVector(root=0x%x, len=%d)" % (self.root, len(self))

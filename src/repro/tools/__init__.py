@@ -1,0 +1,5 @@
+"""Operator tooling: offline inspection of pool files."""
+
+from repro.tools.inspect import format_report, inspect_pool
+
+__all__ = ["format_report", "inspect_pool"]

@@ -1,0 +1,34 @@
+"""Architectural constants shared across the simulator.
+
+These mirror the platform the paper evaluates on: a 64-bit x86 server with
+64-byte cache lines and 4 KiB pages, attached to Optane DC persistent
+memory. Everything that slices memory into lines or pages imports from
+here so the granularities stay consistent.
+"""
+
+#: Size of one CPU cache line in bytes (x86, ThunderX-1, and CXL all use 64).
+CACHE_LINE_SIZE = 64
+
+#: Size of one virtual-memory page in bytes (x86-64 base pages).
+PAGE_SIZE = 4096
+
+#: Number of cache lines per page.
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE_SIZE
+
+#: Width of a machine word in bytes. All structure fields are u64.
+WORD_SIZE = 8
+
+#: Number of words in one cache line.
+WORDS_PER_LINE = CACHE_LINE_SIZE // WORD_SIZE
+
+#: A canonical invalid / null address. Address 0 is reserved in every
+#: address space built by this package, so structures can use 0 as NULL.
+NULL_ADDR = 0
+
+#: Maximum representable address (exclusive); 48-bit physical addressing.
+MAX_PHYS_ADDR = 1 << 48
+
+
+def is_power_of_two(value):
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

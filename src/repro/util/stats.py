@@ -1,0 +1,164 @@
+"""Lightweight statistics primitives used by every simulated component.
+
+Components expose a :class:`StatGroup` of named counters and histograms
+instead of ad-hoc integer attributes, so benchmarks and tests can inspect
+behaviour (hit rates, log bytes written, snoops issued) through one
+interface.
+"""
+
+import math
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount=1):
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def reset(self):
+        """Reset to zero."""
+        self.value = 0
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Histogram:
+    """A streaming histogram tracking count/sum/min/max and moments.
+
+    Good enough for latency summaries without storing every sample; also
+    records a small reservoir for percentile estimates in reports.
+    """
+
+    RESERVOIR_SIZE = 4096
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sum_sq = 0.0
+        self._reservoir = []
+
+    def record(self, value):
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self._sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            # Deterministic decimation: overwrite a rotating slot. This is
+            # not statistically unbiased reservoir sampling, but it is
+            # deterministic (no RNG) and fine for report percentiles.
+            self._reservoir[self.count % self.RESERVOIR_SIZE] = value
+
+    @property
+    def mean(self):
+        """Arithmetic mean of all recorded samples (0 if empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def stddev(self):
+        """Population standard deviation of recorded samples."""
+        if self.count == 0:
+            return 0.0
+        mean = self.mean
+        variance = max(0.0, self._sum_sq / self.count - mean * mean)
+        return math.sqrt(variance)
+
+    def percentile(self, p):
+        """Estimate the ``p``-th percentile (0..100) from the reservoir."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def reset(self):
+        """Forget all samples."""
+        self.__init__(self.name)
+
+    def __repr__(self):
+        return "Histogram(%s: n=%d mean=%.1f)" % (self.name, self.count, self.mean)
+
+
+class StatGroup:
+    """A named bag of counters and histograms owned by one component."""
+
+    def __init__(self, owner):
+        self.owner = owner
+        self._counters = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name):
+        """Get or create the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def get(self, name):
+        """Return the current value of counter ``name`` (0 if absent)."""
+        if name in self._counters:
+            return self._counters[name].value
+        return 0
+
+    def counters(self):
+        """Return a dict of counter name -> value."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def reset(self):
+        """Reset every counter and histogram in the group."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def snapshot(self):
+        """Return a flat dict snapshot for reporting."""
+        out = dict(self.counters())
+        for name, histogram in self._histograms.items():
+            out[name + ".count"] = histogram.count
+            out[name + ".mean"] = histogram.mean
+        return out
+
+    def __repr__(self):
+        return "StatGroup(%s, %d counters)" % (self.owner, len(self._counters))
+
+
+def ratio(numerator, denominator):
+    """Safe division for hit-rate style metrics; 0.0 when denominator is 0."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,25 @@
+"""Workload generation: key distributions, YCSB mixes, op traces."""
+
+from repro.workloads.keys import KeySequence, KeySpace
+from repro.workloads.trace import (
+    Op,
+    apply_trace,
+    expected_state,
+    interleave_persists,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.ycsb import MIXES, YcsbWorkload
+
+__all__ = [
+    "KeySequence",
+    "KeySpace",
+    "MIXES",
+    "Op",
+    "YcsbWorkload",
+    "apply_trace",
+    "expected_state",
+    "interleave_persists",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,67 @@
+"""Key sequence generators for the benchmarks.
+
+The paper's microbenchmark uses 8 B keys and values with a uniform random
+access distribution (§5); YCSB-style zipfian skew is the other standard
+shape for key-value stores. Both are deterministic given a seed.
+"""
+
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng, UniformGenerator, ZipfianGenerator
+
+
+class KeySpace:
+    """A keyspace of ``n`` logical keys mapped onto u64 key values.
+
+    Logical key ``i`` maps to a u64 via an affine scramble so neighbouring
+    logical keys do not land in neighbouring hash buckets (matching real
+    benchmark harnesses, which hash string keys).
+    """
+
+    _MULT = 0x9E3779B97F4A7C15
+    _MASK = 0xFFFFFFFFFFFFFFFF
+
+    def __init__(self, n):
+        if n <= 0:
+            raise ConfigError("keyspace must be non-empty")
+        self.n = n
+
+    def key(self, index):
+        """The u64 key for logical index ``index``."""
+        return ((index + 1) * self._MULT) & self._MASK
+
+    def all_keys(self):
+        """All u64 keys in logical order."""
+        return [self.key(i) for i in range(self.n)]
+
+
+class KeySequence:
+    """Stream of u64 keys drawn from a distribution over a keyspace."""
+
+    DISTRIBUTIONS = ("uniform", "zipfian", "sequential")
+
+    def __init__(self, n, distribution="uniform", theta=0.99, seed=42):
+        if distribution not in self.DISTRIBUTIONS:
+            raise ConfigError("unknown distribution %r" % (distribution,))
+        self.space = KeySpace(n)
+        self.distribution = distribution
+        self._cursor = 0
+        rng = DeterministicRng(seed)
+        if distribution == "uniform":
+            self._gen = UniformGenerator(n, rng)
+        elif distribution == "zipfian":
+            self._gen = ZipfianGenerator(n, theta=theta, rng=rng)
+        else:
+            self._gen = None
+
+    def next(self):
+        """Return the next key."""
+        if self.distribution == "sequential":
+            index = self._cursor % self.space.n
+            self._cursor += 1
+        else:
+            index = self._gen.next()
+        return self.space.key(index)
+
+    def take(self, count):
+        """Return a list of the next ``count`` keys."""
+        return [self.next() for _ in range(count)]

@@ -1,0 +1,108 @@
+"""Operation traces: generate, record, replay, persist to disk.
+
+A trace is a list of :class:`Op` — enough to replay an identical workload
+against every backend, which is what makes cross-backend comparisons
+apples-to-apples. Traces serialize to JSON-lines files so a workload can
+be generated once and replayed across runs and machines.
+"""
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Op:
+    """One key-value operation."""
+
+    kind: str                  # "put" | "get" | "remove" | "persist"
+    key: Optional[int] = None
+    value: Optional[int] = None
+
+    KINDS = ("put", "get", "remove", "persist")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ConfigError("unknown op kind %r" % (self.kind,))
+
+
+def apply_trace(backend, trace):
+    """Replay ``trace`` against ``backend``; returns ops applied."""
+    applied = 0
+    for op in trace:
+        if op.kind == "put":
+            backend.put(op.key, op.value)
+        elif op.kind == "get":
+            backend.get(op.key)
+        elif op.kind == "remove":
+            backend.remove(op.key)
+        else:
+            backend.persist()
+        applied += 1
+    return applied
+
+
+def interleave_persists(trace, group_size):
+    """Insert a persist op after every ``group_size`` mutating ops.
+
+    This is the group-commit knob (paper §3.2): PAX amortizes its epoch
+    cost over the group; per-op-durable schemes ignore persist ops.
+    """
+    if group_size <= 0:
+        raise ConfigError("group size must be positive")
+    out = []
+    mutations = 0
+    for op in trace:
+        out.append(op)
+        if op.kind in ("put", "remove"):
+            mutations += 1
+            if mutations % group_size == 0:
+                out.append(Op("persist"))
+    if out and out[-1].kind != "persist":
+        out.append(Op("persist"))
+    return out
+
+
+def save_trace(trace, path):
+    """Write a trace as JSON lines; returns the op count."""
+    with open(path, "w") as handle:
+        for op in trace:
+            record = {"kind": op.kind}
+            if op.key is not None:
+                record["key"] = op.key
+            if op.value is not None:
+                record["value"] = op.value
+            handle.write(json.dumps(record))
+            handle.write("\n")
+    return len(trace)
+
+
+def load_trace(path):
+    """Read a JSON-lines trace written by :func:`save_trace`."""
+    trace = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                trace.append(Op(record["kind"], record.get("key"),
+                                record.get("value")))
+            except (ValueError, KeyError) as exc:
+                raise ConfigError("bad trace line %d in %s: %s"
+                                  % (line_number, path, exc)) from exc
+    return trace
+
+
+def expected_state(trace):
+    """The dict a correct backend must contain after replaying ``trace``."""
+    state = {}
+    for op in trace:
+        if op.kind == "put":
+            state[op.key] = op.value
+        elif op.kind == "remove":
+            state.pop(op.key, None)
+    return state

@@ -1,0 +1,82 @@
+"""YCSB-style workload mixes.
+
+The standard cloud-serving benchmark mixes, expressed as traces over our
+u64 key-value interface (YCSB's scan/RMW are mapped onto the operations
+the hash table supports):
+
+=====  =============================  ======================
+mix    composition                    paper relevance
+=====  =============================  ======================
+A      50% read / 50% update          update-heavy
+B      95% read / 5% update           read-mostly
+C      100% read                      the Fig 2a get() shape
+D      95% read / 5% insert (latest)  read-latest
+F      50% read / 50% RMW             read-modify-write
+W      100% insert/update             the Fig 2b write-only shape
+=====  =============================  ======================
+"""
+
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng
+from repro.workloads.keys import KeySequence
+from repro.workloads.trace import Op
+
+#: (read_fraction, update_fraction, insert_fraction, rmw_fraction)
+MIXES = {
+    "A": (0.50, 0.50, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.50),
+    "W": (0.00, 1.00, 0.00, 0.00),
+}
+
+
+class YcsbWorkload:
+    """Generates load + run traces for one mix."""
+
+    def __init__(self, mix="A", record_count=1000, op_count=1000,
+                 distribution="zipfian", seed=42):
+        if mix not in MIXES:
+            raise ConfigError("unknown YCSB mix %r (have %s)"
+                              % (mix, ", ".join(sorted(MIXES))))
+        self.mix = mix
+        self.record_count = record_count
+        self.op_count = op_count
+        self.distribution = distribution
+        self.seed = seed
+
+    def load_trace(self):
+        """The load phase: insert every record once."""
+        keys = KeySequence(self.record_count, "sequential", seed=self.seed)
+        return [Op("put", keys.next(), index) for index in range(self.record_count)]
+
+    def run_trace(self):
+        """The run phase: ``op_count`` operations in the mix's proportions."""
+        read_f, update_f, insert_f, rmw_f = MIXES[self.mix]
+        rng = DeterministicRng(self.seed + 1)
+        keys = KeySequence(self.record_count, self.distribution,
+                           seed=self.seed + 2)
+        trace = []
+        inserted = self.record_count
+        for index in range(self.op_count):
+            roll = rng.random()
+            key = keys.next()
+            if roll < read_f:
+                trace.append(Op("get", key))
+            elif roll < read_f + update_f:
+                trace.append(Op("put", key, index))
+            elif roll < read_f + update_f + insert_f:
+                # Insert a fresh key ("latest" style).
+                fresh = KeySequence(inserted + 1, "sequential").space.key(inserted)
+                inserted += 1
+                trace.append(Op("put", fresh, index))
+            else:
+                # Read-modify-write: a get followed by a put of the key.
+                trace.append(Op("get", key))
+                trace.append(Op("put", key, index))
+        return trace
+
+    def __repr__(self):
+        return "YcsbWorkload(%s, %d recs, %d ops, %s)" % (
+            self.mix, self.record_count, self.op_count, self.distribution)

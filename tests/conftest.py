@@ -1,0 +1,65 @@
+"""Shared fixtures: small machines sized for fast tests.
+
+The default cache geometry (2 MiB LLC) is right for benchmarks but makes
+eviction paths unreachable in small tests, so fixtures here use scaled-
+down caches — 4 KiB L1 / 16 KiB L2 / 64 KiB LLC — which exercise every
+eviction and write-back path with working sets of a few hundred lines.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.libpax.machine import HostMachine, PaxMachine
+from repro.libpax.pool import PaxPool
+from repro.sim.clock import SimClock
+from repro.sim.latency import default_model
+
+
+def small_cache_kwargs():
+    """Tiny-but-real cache geometry for eviction-heavy tests."""
+    return dict(
+        l1_config=CacheConfig(size_bytes=4 * 1024, ways=4),
+        l2_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+        llc_config=CacheConfig(size_bytes=64 * 1024, ways=8),
+    )
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def latency():
+    return default_model()
+
+
+@pytest.fixture
+def dram_machine():
+    return HostMachine(media="dram", heap_size=4 * 1024 * 1024,
+                       **small_cache_kwargs())
+
+
+@pytest.fixture
+def pm_machine():
+    return HostMachine(media="pm", heap_size=4 * 1024 * 1024,
+                       **small_cache_kwargs())
+
+
+def make_pax_pool(**overrides):
+    """A small PAX pool for tests; overridable knobs."""
+    kwargs = dict(pool_size=4 * 1024 * 1024, log_size=256 * 1024)
+    kwargs.update(small_cache_kwargs())
+    kwargs.update(overrides)
+    return PaxPool.map_pool(**kwargs)
+
+
+@pytest.fixture
+def pax_pool():
+    return make_pax_pool()
+
+
+@pytest.fixture
+def pax_machine():
+    return PaxMachine(pool_size=4 * 1024 * 1024, log_size=256 * 1024,
+                      **small_cache_kwargs())

@@ -1,0 +1,269 @@
+"""The evaluation analytics: AMAT model, scaling model, write amp, reports."""
+
+import pytest
+
+from repro.analysis.amat import AmatModel, CONFIGS, measure_miss_rates
+from repro.analysis.report import Table, format_bytes, format_ns
+from repro.analysis.throughput import ScalingModel, SingleThreadProfile
+from repro.analysis.writeamp import WriteAmpReport
+from repro.cache.stats import MissRates
+from repro.errors import ConfigError
+from repro.sim.latency import default_model
+
+
+def canned_rates():
+    """Miss rates in the ballpark the get() benchmark produces."""
+    return MissRates(accesses=10000, l1_hits=6200, l2_hits=1500,
+                     llc_hits=1700, memory_fetches=600)
+
+
+class TestAmatModel:
+    def test_orderings(self):
+        model = AmatModel(canned_rates())
+        estimates = {config: model.amat_ns(config) for config in CONFIGS}
+        assert estimates["dram"] < estimates["pm"]
+        assert estimates["pm"] < estimates["pm_cxl"]
+        assert estimates["pm_cxl"] < estimates["pm_enzian"]
+
+    def test_cxl_overhead_in_paper_range(self):
+        model = AmatModel(canned_rates())
+        overhead = model.cxl_overhead_over_pm()
+        # Paper: "may only add 25% to application-experienced AMAT".
+        assert 0.05 < overhead < 0.40
+
+    def test_enzian_ratio_near_two(self):
+        model = AmatModel(canned_rates())
+        # Paper: Enzian prototype ~2x the CXL overhead.
+        assert 1.5 < model.enzian_overhead_ratio() < 2.6
+
+    def test_hbm_hits_reduce_pax_amat(self):
+        cold = AmatModel(canned_rates(), hbm_hit_rate=0.0)
+        warm = AmatModel(canned_rates(), hbm_hit_rate=0.8)
+        assert warm.amat_ns("pm_cxl") < cold.amat_ns("pm_cxl")
+        assert warm.amat_ns("pm") == cold.amat_ns("pm")
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError):
+            AmatModel(canned_rates()).amat_ns("pm_nvlink")
+
+    def test_no_misses_means_cache_speed(self):
+        rates = MissRates(accesses=100, l1_hits=100, l2_hits=0,
+                          llc_hits=0, memory_fetches=0)
+        model = AmatModel(rates)
+        lat = default_model()
+        for config in CONFIGS:
+            assert model.amat_ns(config) == pytest.approx(lat.cache.l1_ns)
+
+
+class TestMeasuredMissRates:
+    LLC = None   # set lazily to avoid import order noise
+
+    @classmethod
+    def _caches(cls):
+        from repro.cache.cache import CacheConfig
+        return dict(l2_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+                    llc_config=CacheConfig(size_bytes=64 * 1024, ways=8))
+
+    def test_get_benchmark_misses(self):
+        rates = measure_miss_rates(record_count=4000, op_count=6000,
+                                   **self._caches())
+        assert rates.accesses > 0
+        assert 0 < rates.l1_miss_rate < 1
+        assert rates.memory_fetches > 0
+
+    def test_bigger_table_misses_more(self):
+        small = measure_miss_rates(record_count=1000, op_count=4000,
+                                   **self._caches())
+        large = measure_miss_rates(record_count=8000, op_count=4000,
+                                   **self._caches())
+        assert large.memory_access_fraction > small.memory_access_fraction
+
+
+class TestScalingModel:
+    def profile(self, per_op_ns=500.0, wbytes=200, rbytes=100):
+        return SingleThreadProfile(name="x", ops=1000,
+                                   elapsed_ns=per_op_ns * 1000,
+                                   media_read_bytes=rbytes * 1000,
+                                   media_write_bytes=wbytes * 1000)
+
+    def test_single_thread_matches_latency(self):
+        model = ScalingModel(self.profile(per_op_ns=500), 1e12, 1e12,
+                             contention_per_thread=0.0)
+        assert model.throughput_ops(1) == pytest.approx(2e6)
+
+    def test_scales_until_bandwidth_ceiling(self):
+        model = ScalingModel(self.profile(per_op_ns=100, wbytes=200),
+                             read_bw_bps=1e12, write_bw_bps=14e9,
+                             contention_per_thread=0.0)
+        unbounded = 32 * 1e9 / 100
+        ceiling = 14e9 / 200
+        assert model.throughput_ops(32) == pytest.approx(min(unbounded,
+                                                             ceiling))
+
+    def test_contention_bends_curve(self):
+        flat = ScalingModel(self.profile(), 1e12, 1e12,
+                            contention_per_thread=0.0)
+        bent = ScalingModel(self.profile(), 1e12, 1e12,
+                            contention_per_thread=0.05)
+        assert bent.throughput_ops(32) < flat.throughput_ops(32)
+        assert bent.throughput_ops(1) == flat.throughput_ops(1)
+
+    def test_curve_monotonic(self):
+        model = ScalingModel(self.profile(), 1e12, 1e12)
+        curve = model.curve([1, 8, 16, 24, 32])
+        values = list(curve.values())
+        assert values == sorted(values)
+
+
+class TestWriteAmpReport:
+    def test_amplification_math(self):
+        report = WriteAmpReport(name="x", ops=100, logical_bytes=1600,
+                                media_write_bytes=6400, log_bytes=9600)
+        assert report.total_persistent_bytes == 16000
+        assert report.amplification == pytest.approx(10.0)
+        assert report.log_amplification == pytest.approx(6.0)
+
+    def test_zero_ops(self):
+        report = WriteAmpReport(name="x", ops=0, logical_bytes=0,
+                                media_write_bytes=0, log_bytes=0)
+        assert report.amplification == 0.0
+
+
+class TestLatencyProfile:
+    def test_records_and_summarizes(self):
+        from repro.analysis.latency import LatencyProfile
+        profile = LatencyProfile("x")
+        for value in range(1, 101):
+            profile.record(float(value))
+        summary = profile.summary()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert profile.count == 100
+
+    def test_empty_profile(self):
+        from repro.analysis.latency import LatencyProfile
+        summary = LatencyProfile("x").summary()
+        assert summary["max"] == 0.0
+
+    def test_measure_against_backend(self):
+        from repro.analysis.latency import measure_request_latencies
+        from repro.baselines import make_backend
+        from tests.conftest import small_cache_kwargs
+        backend = make_backend("pax", pool_size=4 * 1024 * 1024,
+                               log_size=256 * 1024, capacity=64,
+                               **small_cache_kwargs())
+        profile = measure_request_latencies(
+            backend, keys=list(range(64)), values=list(range(64)),
+            group_size=16, persist_mode="blocking")
+        assert profile.count == 64
+        # Requests carrying a persist dominate the tail.
+        assert profile.percentile(99) > profile.percentile(50)
+
+    def test_async_mode_uses_pipeline(self):
+        from repro.analysis.latency import measure_request_latencies
+        from repro.baselines import make_backend
+        from tests.conftest import small_cache_kwargs
+        backend = make_backend("pax", pool_size=4 * 1024 * 1024,
+                               log_size=256 * 1024, capacity=64,
+                               **small_cache_kwargs())
+        profile = measure_request_latencies(
+            backend, keys=list(range(64)), values=list(range(64)),
+            group_size=16, persist_mode="async")
+        assert profile.count == 64
+        assert backend.machine.device.stats.get("persist_asyncs") > 0
+        # The barrier + final persist leave the pool fully committed.
+        assert backend.committed_epoch >= 4
+
+
+class TestWear:
+    def test_device_tracks_line_wear(self):
+        from repro.pm.device import PmDevice
+        device = PmDevice("pm", 4096)
+        device.write(0, b"x" * 8)
+        device.write(0, b"y" * 8)
+        device.write(64, b"z" * 8)
+        assert device.line_wear[0] == 2
+        assert device.line_wear[64] == 1
+        assert device.max_line_wear() == 2
+        assert device.region_writes(0, 64) == 2
+        assert device.wear_profile() == (2, 3, 2)
+
+    def test_wear_report_on_pax_backend(self):
+        from repro.analysis.wear import measure_wear
+        from repro.baselines import make_backend
+        from tests.conftest import small_cache_kwargs
+        backend = make_backend("pax", pool_size=4 * 1024 * 1024,
+                               log_size=256 * 1024, capacity=64,
+                               **small_cache_kwargs())
+        for key in range(50):
+            backend.put(key, key)
+        backend.persist()
+        report = measure_wear(backend)
+        assert report.log_region_writes > 0
+        assert report.data_region_writes > 0
+        assert 0 < report.log_fraction < 1
+        assert report.skew >= 1
+
+    def test_wear_report_regions_for_wal_backend(self):
+        from repro.analysis.wear import measure_wear
+        from repro.baselines import make_backend
+        from tests.conftest import small_cache_kwargs
+        backend = make_backend("pmdk", heap_size=4 * 1024 * 1024,
+                               capacity=64, **small_cache_kwargs())
+        for key in range(30):
+            backend.put(key, key)
+        report = measure_wear(backend)
+        assert report.log_region_writes > 0
+
+
+class TestMachineReport:
+    def test_pax_machine_report(self):
+        from repro.analysis.machine_report import machine_report
+        from tests.conftest import make_pax_pool
+        from repro.structures import HashMap
+        pool = make_pax_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(30):
+            table.put(key, key)
+        pool.persist()
+        report = machine_report(pool.machine)
+        assert "cache hierarchy" in report
+        assert "PAX device" in report
+        assert "interconnect" in report
+        assert "committed epoch" in report
+        assert "simulated time" in report
+
+    def test_host_machine_report(self, dram_machine):
+        from repro.analysis.machine_report import machine_report
+        dram_machine.mem().write_u64(64, 1)
+        report = machine_report(dram_machine)
+        assert "cache hierarchy" in report
+        assert "medium (dram0)" in report
+
+
+class TestReportFormatting:
+    def test_table_render(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1.234)
+        table.add_row("b", 12345.6)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_format_ns(self):
+        assert format_ns(500) == "500.0 ns"
+        assert format_ns(1500) == "1.50 us"
+        assert format_ns(2.5e6) == "2.50 ms"
+        assert format_ns(3e9) == "3.00 s"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "MiB" in format_bytes(5 * 1024 * 1024)

@@ -1,0 +1,88 @@
+"""Property-based crash sweeps for the WAL baselines.
+
+The snapshot schemes get their hypothesis treatment in
+test_crash_properties.py; here the per-operation-durable schemes (PMDK,
+redo, compiler-pass) are cut at arbitrary store boundaries and must
+recover to a state matching some *prefix* of completed operations —
+never a torn operation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import make_backend
+from repro.crashtest import CrashInjector, check_prefix_atomic, count_stores
+from tests.conftest import small_cache_kwargs
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(name):
+    return make_backend(name, heap_size=4 * 1024 * 1024, capacity=64,
+                        **small_cache_kwargs())
+
+
+def run_ops(backend, ops):
+    for kind, key, value in ops:
+        if kind == "put":
+            backend.put(key, value)
+        else:
+            backend.remove(key)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 15), st.integers(0, 500)),
+        st.tuples(st.just("remove"), st.integers(0, 15), st.just(0)),
+    ),
+    min_size=1, max_size=15)
+
+
+@pytest.mark.parametrize("name", ["pmdk", "redo", "compiler"])
+class TestWalPrefixAtomicity:
+    @SETTINGS
+    @given(ops=ops_strategy, crash_fraction=st.floats(0.0, 1.0))
+    def test_any_cut_recovers_to_an_op_prefix(self, name, ops,
+                                              crash_fraction):
+        # Probe run to count stores, then a fresh run with an injected cut.
+        probe = build(name)
+        for key in range(5):
+            probe.put(key, key)
+        base = dict(probe.to_dict())
+        total = count_stores(probe.machine, lambda: run_ops(probe, ops))
+
+        backend = build(name)
+        for key in range(5):
+            backend.put(key, key)
+        injector = CrashInjector(backend.machine)
+        injector.arm(int(total * crash_fraction))
+        crashed = injector.run(lambda: run_ops(backend, ops))
+        if not crashed:
+            backend.crash()
+        backend.restart()
+        prefix = check_prefix_atomic(backend.to_dict(), ops,
+                                     base_state=base)
+        assert 0 <= prefix <= len(ops)
+
+
+class TestMprotectSnapshotProperty:
+    @SETTINGS
+    @given(n_committed=st.integers(0, 12), n_lost=st.integers(0, 12),
+           crash_fraction=st.floats(0.0, 1.0))
+    def test_mprotect_recovers_to_last_persist(self, n_committed, n_lost,
+                                               crash_fraction):
+        backend = build("mprotect")
+        for key in range(n_committed):
+            backend.put(key, key)
+        backend.persist()
+        snapshot = dict(backend.to_dict())
+        lost_ops = [("put", 100 + key, key) for key in range(n_lost)]
+        probe_total = max(1, n_lost * 4)
+        injector = CrashInjector(backend.machine)
+        injector.arm(int(probe_total * crash_fraction))
+        crashed = injector.run(lambda: run_ops(backend, lost_ops))
+        if not crashed:
+            backend.crash()
+        backend.restart()
+        assert backend.to_dict() == snapshot

@@ -1,0 +1,86 @@
+"""The coherence directory: exclusivity invariants."""
+
+import pytest
+
+from repro.cache.coherence import Directory
+from repro.cache.line import MesiState
+from repro.errors import ProtocolError
+
+
+class TestStates:
+    def test_untracked_is_invalid(self):
+        directory = Directory()
+        assert directory.state(0x40, 0) == MesiState.INVALID
+
+    def test_shared_by_many(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.set_state(0x40, 1, MesiState.SHARED)
+        assert sorted(directory.sharers(0x40)) == [0, 1]
+        assert directory.owner(0x40) is None
+
+    def test_modified_excludes_others(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        with pytest.raises(ProtocolError):
+            directory.set_state(0x40, 1, MesiState.MODIFIED)
+
+    def test_shared_grant_blocked_while_owned(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.MODIFIED)
+        with pytest.raises(ProtocolError):
+            directory.set_state(0x40, 1, MesiState.SHARED)
+
+    def test_owner_can_downgrade_itself(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.MODIFIED)
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        assert directory.owner(0x40) is None
+
+    def test_owner_detects_exclusive_too(self):
+        directory = Directory()
+        directory.set_state(0x40, 2, MesiState.EXCLUSIVE)
+        assert directory.owner(0x40) == 2
+
+    def test_upgrade_in_place(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.EXCLUSIVE)
+        directory.set_state(0x40, 0, MesiState.MODIFIED)
+        assert directory.state(0x40, 0) == MesiState.MODIFIED
+
+
+class TestDrop:
+    def test_drop_removes_sharer(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.set_state(0x40, 1, MesiState.SHARED)
+        directory.drop(0x40, 0)
+        assert directory.sharers(0x40) == [1]
+
+    def test_last_drop_removes_entry(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.drop(0x40, 0)
+        assert len(directory) == 0
+        assert directory.entry(0x40) is None
+
+    def test_set_invalid_is_drop(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.set_state(0x40, 0, MesiState.INVALID)
+        assert directory.state(0x40, 0) == MesiState.INVALID
+
+    def test_drop_unknown_is_noop(self):
+        Directory().drop(0x40, 0)
+
+    def test_clear(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.clear()
+        assert len(directory) == 0
+
+    def test_lines_held(self):
+        directory = Directory()
+        directory.set_state(0x40, 0, MesiState.SHARED)
+        directory.set_state(0x80, 1, MesiState.MODIFIED)
+        assert sorted(directory.lines_held()) == [0x40, 0x80]

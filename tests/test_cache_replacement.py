@@ -1,0 +1,88 @@
+"""Replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy()
+        for addr in (1, 2, 3):
+            policy.on_insert(addr)
+        assert policy.victim() == 1
+        policy.on_access(1)
+        assert policy.victim() == 2
+
+    def test_remove(self):
+        policy = LruPolicy()
+        policy.on_insert(1)
+        policy.on_insert(2)
+        policy.on_remove(1)
+        assert policy.victim() == 2
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(ConfigError):
+            LruPolicy().victim()
+
+    def test_access_unknown_addr_ignored(self):
+        policy = LruPolicy()
+        policy.on_access(99)   # must not insert
+        with pytest.raises(ConfigError):
+            policy.victim()
+
+
+class TestFifo:
+    def test_victim_is_oldest_regardless_of_access(self):
+        policy = FifoPolicy()
+        for addr in (1, 2, 3):
+            policy.on_insert(addr)
+        policy.on_access(1)
+        assert policy.victim() == 1
+
+    def test_remove_unknown_is_noop(self):
+        policy = FifoPolicy()
+        policy.on_insert(1)
+        policy.on_remove(99)
+        assert policy.victim() == 1
+
+
+class TestRandom:
+    def test_victim_is_member(self):
+        policy = RandomPolicy(DeterministicRng(1))
+        for addr in (10, 20, 30):
+            policy.on_insert(addr)
+        assert policy.victim() in (10, 20, 30)
+
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(DeterministicRng(5))
+        b = RandomPolicy(DeterministicRng(5))
+        for addr in range(8):
+            a.on_insert(addr)
+            b.on_insert(addr)
+        assert [a.victim() for _ in range(5)] == [b.victim() for _ in range(5)]
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+        assert isinstance(make_policy("random"), RandomPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady")
+
+    def test_instances_are_fresh(self):
+        a = make_policy("lru")
+        b = make_policy("lru")
+        a.on_insert(1)
+        with pytest.raises(ConfigError):
+            b.victim()

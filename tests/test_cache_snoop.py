@@ -1,0 +1,87 @@
+"""Device-to-host snoops: the persist() machinery (paper §3.3)."""
+
+from tests.test_cache_hierarchy import BASE, build
+
+from repro.cache.line import MesiState
+
+
+class TestSnoopShared:
+    def test_pulls_dirty_data_and_downgrades(self):
+        h, _c, _s, _home = build()
+        h.store(0, BASE, b"\xaa" * 8)
+        fresh = h.snoop_shared(BASE)
+        assert fresh[:8] == b"\xaa" * 8
+        assert h.directory.state(BASE, 0) == MesiState.SHARED
+
+    def test_clean_line_returns_none(self):
+        h, _c, _s, _home = build()
+        h.load(0, BASE, 8)
+        assert h.snoop_shared(BASE) is None
+
+    def test_uncached_line_returns_none(self):
+        h, _c, _s, _home = build()
+        assert h.snoop_shared(BASE) is None
+
+    def test_second_snoop_sees_clean(self):
+        h, _c, _s, _home = build()
+        h.store(0, BASE, b"x")
+        assert h.snoop_shared(BASE) is not None
+        assert h.snoop_shared(BASE) is None
+
+    def test_line_stays_readable_after_snoop(self):
+        h, _c, _s, _home = build()
+        h.store(0, BASE, b"keepread")
+        h.snoop_shared(BASE)
+        assert h.load(0, BASE, 8) == b"keepread"
+
+    def test_store_after_snoop_needs_new_upgrade(self):
+        h, _c, _s, home = build(grants_exclusive=False)
+        h.store(0, BASE, b"first")
+        h.snoop_shared(BASE)
+        acquires = home.stats.get("acquires")
+        h.store(0, BASE, b"again")
+        # S->M upgrade: the home (device) hears about it again.
+        assert home.stats.get("acquires") == acquires + 1
+
+    def test_dirty_line_in_llc_found(self):
+        h, _c, _s, _home = build()
+        # Dirty the line, then force it out of the core into the LLC by
+        # filling the private caches.
+        h.store(0, BASE, b"\xcc" * 8)
+        for i in range(64, 64 * 1024, 64):
+            h.load(0, BASE + i, 8)
+        if h.directory.owner(BASE) is None:       # made it to the LLC
+            fresh = h.snoop_shared(BASE)
+            assert fresh is not None and fresh[:8] == b"\xcc" * 8
+
+    def test_core_dirty_beats_llc_stale(self):
+        h, _c, _s, _home = build()
+        h.store(0, BASE, b"v1......")
+        h.load(1, BASE, 8)            # downgrade: v1 lands dirty in LLC
+        h.store(0, BASE, b"v2......")  # core 0 re-owns with newer data
+        fresh = h.snoop_shared(BASE)
+        assert fresh[:8] == b"v2......"
+
+
+class TestSnoopInvalidate:
+    def test_removes_all_copies(self):
+        h, _c, _s, _home = build()
+        h.load(0, BASE, 8)
+        h.load(1, BASE, 8)
+        h.snoop_invalidate(BASE)
+        assert h.directory.state(BASE, 0) == MesiState.INVALID
+        assert h.directory.state(BASE, 1) == MesiState.INVALID
+
+    def test_returns_dirty_data(self):
+        h, _c, _s, _home = build()
+        h.store(0, BASE, b"\xdd" * 8)
+        fresh = h.snoop_invalidate(BASE)
+        assert fresh[:8] == b"\xdd" * 8
+
+    def test_reload_after_invalidate_misses(self):
+        h, _c, _s, _home = build()
+        h.load(0, BASE, 8)
+        fetches = h.stats.get("memory_fetches")
+        h.snoop_invalidate(BASE)
+        h.load(0, BASE, 8)
+        assert h.stats.get("memory_fetches") == fetches + 1

@@ -1,0 +1,174 @@
+"""PAX device internals: HBM cache and the asynchronous undo logger."""
+
+import pytest
+
+from repro.core.config import PaxConfig
+from repro.core.hbm import HbmCache
+from repro.core.undo import UndoLogger
+from repro.errors import LogError
+from repro.pm.device import PmDevice
+from repro.pm.log import ENTRY_SIZE, UndoLogRegion
+
+
+def make_logger(capacity_entries=32, dedup=True):
+    device = PmDevice("pm", 1 << 20)
+    region = UndoLogRegion(device, 4096, capacity_entries * ENTRY_SIZE)
+    config = PaxConfig(dedup_log_entries=dedup)
+    return UndoLogger(region, config, start_epoch=1), region
+
+
+class TestHbm:
+    def test_get_put(self):
+        hbm = HbmCache(4)
+        hbm.put(0x40, b"\x01" * 64)
+        assert hbm.get(0x40) == b"\x01" * 64
+        assert hbm.get(0x80) is None
+
+    def test_lru_eviction(self):
+        hbm = HbmCache(2)
+        hbm.put(0x40, b"a" * 64)
+        hbm.put(0x80, b"b" * 64)
+        hbm.get(0x40)                    # refresh
+        hbm.put(0xC0, b"c" * 64)
+        assert 0x80 not in hbm           # LRU victim
+        assert 0x40 in hbm
+
+    def test_disabled_cache(self):
+        hbm = HbmCache(0)
+        hbm.put(0x40, b"a" * 64)
+        assert hbm.get(0x40) is None
+        assert not hbm.enabled
+
+    def test_invalidate(self):
+        hbm = HbmCache(4)
+        hbm.put(0x40, b"a" * 64)
+        hbm.invalidate(0x40)
+        assert hbm.get(0x40) is None
+        hbm.invalidate(0x40)             # idempotent
+
+    def test_crash_clears(self):
+        hbm = HbmCache(4)
+        hbm.put(0x40, b"a" * 64)
+        hbm.clear()
+        assert len(hbm) == 0
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            HbmCache(4).put(0x40, b"short")
+
+    def test_hit_stats(self):
+        hbm = HbmCache(4)
+        hbm.put(0x40, b"a" * 64)
+        hbm.get(0x40)
+        hbm.get(0x80)
+        assert hbm.stats.get("hits") == 1
+        assert hbm.stats.get("misses") == 1
+
+
+class TestUndoLogger:
+    def test_record_is_pending_not_durable(self):
+        logger, region = make_logger()
+        seq = logger.note_modification(0x5000, b"old" + b"\x00" * 61)
+        assert not logger.is_durable(seq)
+        assert logger.pending_count == 1
+        assert region.used_entries == 0
+
+    def test_drain_makes_durable_in_order(self):
+        logger, region = make_logger()
+        seq1 = logger.note_modification(0x5000, b"a" * 64)
+        seq2 = logger.note_modification(0x5040, b"b" * 64)
+        logger.drain_one()
+        assert logger.is_durable(seq1)
+        assert not logger.is_durable(seq2)
+        logger.drain_one()
+        assert logger.is_durable(seq2)
+        assert region.used_entries == 2
+
+    def test_dedup_same_line_same_epoch(self):
+        logger, _region = make_logger(dedup=True)
+        seq1 = logger.note_modification(0x5000, b"a" * 64)
+        seq2 = logger.note_modification(0x5000, b"b" * 64)
+        assert seq1 == seq2
+        assert logger.pending_count == 1
+        assert logger.stats.get("dedup_hits") == 1
+
+    def test_no_dedup_when_disabled(self):
+        logger, _region = make_logger(dedup=False)
+        seq1 = logger.note_modification(0x5000, b"a" * 64)
+        seq2 = logger.note_modification(0x5000, b"b" * 64)
+        assert seq2 > seq1
+        assert logger.pending_count == 2
+
+    def test_drain_budget_partial(self):
+        logger, _region = make_logger()
+        for index in range(4):
+            logger.note_modification(0x5000 + index * 64, b"x" * 64)
+        written = logger.drain_budget(2 * ENTRY_SIZE)
+        assert written == 2 * ENTRY_SIZE
+        assert logger.pending_count == 2
+
+    def test_drain_budget_accumulates_fractions(self):
+        logger, _region = make_logger()
+        logger.note_modification(0x5000, b"x" * 64)
+        assert logger.drain_budget(ENTRY_SIZE / 2) == 0
+        assert logger.drain_budget(ENTRY_SIZE / 2) == ENTRY_SIZE
+
+    def test_drain_until(self):
+        logger, _region = make_logger()
+        seqs = [logger.note_modification(0x5000 + i * 64, b"x" * 64)
+                for i in range(5)]
+        logger.drain_until(seqs[2])
+        assert logger.is_durable(seqs[2])
+        assert not logger.is_durable(seqs[3])
+
+    def test_drain_until_unknown_seq(self):
+        logger, _region = make_logger()
+        with pytest.raises(LogError):
+            logger.drain_until(99)
+
+    def test_pump_drains_all(self):
+        logger, region = make_logger()
+        for index in range(3):
+            logger.note_modification(0x5000 + index * 64, b"x" * 64)
+        assert logger.pump() == 3 * ENTRY_SIZE
+        assert logger.pending_count == 0
+        assert region.used_entries == 3
+
+    def test_touched_lines_includes_pending_and_durable(self):
+        logger, _region = make_logger()
+        logger.note_modification(0x5000, b"a" * 64)
+        logger.drain_one()
+        logger.note_modification(0x5040, b"b" * 64)
+        assert logger.touched_lines() == [0x5000, 0x5040]
+
+    def test_epoch_boundary_resets_dedup(self):
+        logger, _region = make_logger()
+        seq1 = logger.note_modification(0x5000, b"a" * 64)
+        logger.pump()
+        logger.begin_epoch(2)
+        seq2 = logger.note_modification(0x5000, b"b" * 64)
+        assert seq2 > seq1
+        assert logger.touched_lines() == [0x5000]
+
+    def test_begin_epoch_with_pending_rejected(self):
+        logger, _region = make_logger()
+        logger.note_modification(0x5000, b"a" * 64)
+        with pytest.raises(LogError):
+            logger.begin_epoch(2)
+
+    def test_crash_loses_pending_only(self):
+        logger, region = make_logger()
+        logger.note_modification(0x5000, b"a" * 64)
+        logger.drain_one()
+        logger.note_modification(0x5040, b"b" * 64)
+        lost = logger.on_crash()
+        assert lost == 1
+        assert region.used_entries == 1     # durable prefix survives
+
+    def test_capacity_accounts_pending_plus_durable(self):
+        logger, _region = make_logger(capacity_entries=2)
+        logger.note_modification(0x5000, b"a" * 64)
+        logger.drain_one()
+        logger.note_modification(0x5040, b"b" * 64)
+        with pytest.raises(LogError):
+            logger.note_modification(0x5080, b"c" * 64)

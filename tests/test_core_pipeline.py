@@ -1,0 +1,176 @@
+"""Pipelined (overlapping-epoch) persist — the §6 extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import PaxConfig
+from repro.structures import HashMap
+from tests.conftest import make_pax_pool
+
+
+def slow_drain_pool():
+    """A pool whose device drains so slowly that nothing becomes durable
+    without explicit simulated idle time — makes pipelining observable."""
+    return make_pax_pool(pax_config=PaxConfig(log_drain_bps=2e4,
+                                              writeback_drain_bps=2e4))
+
+
+class TestBasicPipelining:
+    def test_async_persist_blocks_less_than_blocking(self):
+        pool_a = slow_drain_pool()
+        pool_b = slow_drain_pool()
+        table_a = pool_a.persistent(HashMap, capacity=64)
+        table_b = pool_b.persistent(HashMap, capacity=64)
+        for key in range(100):
+            table_a.put(key, key)
+            table_b.put(key, key)
+        start_a = pool_a.machine.now_ns
+        pool_a.persist()
+        blocking_ns = pool_a.machine.now_ns - start_a
+        start_b = pool_b.machine.now_ns
+        pool_b.persist_async()
+        async_ns = pool_b.machine.now_ns - start_b
+        assert async_ns < blocking_ns
+
+    def test_commit_completes_in_background(self):
+        pool = slow_drain_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(20):
+            table.put(key, key)
+        epoch_before = pool.committed_epoch
+        flight = pool.persist_async()
+        assert not flight.committed
+        assert pool.committed_epoch == epoch_before
+        # Simulated time passes; background draining retires the epoch.
+        pool.machine.clock.advance(5_000_000_000)
+        assert flight.committed
+        assert pool.committed_epoch > epoch_before
+
+    def test_barrier_forces_commit(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        for key in range(20):
+            table.put(key, key)
+        flight = pax_pool.persist_async()
+        pax_pool.persist_barrier()
+        assert flight.committed
+
+    def test_mutations_continue_during_flight(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        for key in range(20):
+            table.put(key, key)
+        pax_pool.persist_async()
+        # The application keeps mutating the next epoch immediately.
+        for key in range(20, 40):
+            table.put(key, key)
+        pax_pool.persist_barrier()
+        pax_pool.persist()
+        assert len(table) == 40
+
+    def test_epochs_commit_in_order(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        flights = []
+        for batch in range(3):
+            for key in range(batch * 10, batch * 10 + 10):
+                table.put(key, key)
+            flights.append(pax_pool.persist_async())
+        pax_pool.persist_barrier()
+        assert all(flight.committed for flight in flights)
+        assert flights[0].epoch < flights[1].epoch < flights[2].epoch
+
+    def test_blocking_persist_is_a_barrier(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        flight = pax_pool.persist_async()
+        table.put(2, 2)
+        pax_pool.persist()
+        assert flight.committed
+
+
+class TestPipelinedCrashConsistency:
+    def test_crash_with_uncommitted_flight_rolls_back(self):
+        pool = slow_drain_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(10):
+            table.put(key, key)
+        pool.persist()
+        snapshot = dict(table.to_dict())
+        for key in range(10, 20):
+            table.put(key, key)
+        flight = pool.persist_async()   # snooped, not yet committed
+        assert not flight.committed
+        pool.crash()                    # records still volatile
+        pool.restart()
+        recovered = pool.reattach_root(HashMap)
+        # The flight's epoch never committed: its data must be gone.
+        assert recovered.to_dict() == snapshot
+
+    def test_crash_after_background_commit_keeps_flight(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        for key in range(10):
+            table.put(key, key)
+        flight = pax_pool.persist_async()
+        pax_pool.machine.clock.advance(50_000_000)
+        assert flight.committed
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(HashMap)
+        assert recovered.to_dict() == {key: key for key in range(10)}
+
+    def test_overlapping_write_to_same_line(self, pax_pool):
+        # Epoch N persists key 1 = A; epoch N+1 overwrites it before N's
+        # value ever reaches PM. Crash before N+1 commits must recover A.
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 111)
+        flight = pax_pool.persist_async()
+        table.put(1, 222)            # same line, next epoch
+        pax_pool.machine.clock.advance(50_000_000)
+        assert flight.committed
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(HashMap)
+        assert recovered.get(1) == 111
+
+    def test_two_uncommitted_epochs_roll_back(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        pax_pool.persist()
+        # Starve the background (no clock advance beyond op costs): stack
+        # two snooped-but-uncommitted epochs, then crash.
+        table.put(2, 2)
+        pax_pool.persist_async()
+        table.put(3, 3)
+        pax_pool.persist_async()
+        # Make some (but not necessarily all) records durable.
+        pax_pool.machine.device.undo.pump()
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(HashMap)
+        # Nothing committed after epoch of key 1... unless pumping allowed
+        # background retirement — accept either consistent outcome:
+        state = recovered.to_dict()
+        assert state in ({1: 1}, {1: 1, 2: 2}, {1: 1, 2: 2, 3: 3})
+        # But never a torn subset like {1: 1, 3: 3}.
+        assert not (3 in state and 2 not in state)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(advance_ns=st.integers(0, 20_000_000),
+           batches=st.integers(1, 4))
+    def test_property_prefix_of_async_epochs(self, advance_ns, batches):
+        pool = make_pax_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        snapshots = [dict()]
+        for batch in range(batches):
+            for key in range(batch * 5, batch * 5 + 5):
+                table.put(key, key)
+            pool.persist_async()
+            state = dict(snapshots[-1])
+            state.update({key: key for key in range(batch * 5,
+                                                    batch * 5 + 5)})
+            snapshots.append(state)
+        pool.machine.clock.advance(advance_ns)
+        pool.crash()
+        pool.restart()
+        recovered = pool.reattach_root(HashMap).to_dict()
+        # Recovered state is exactly some prefix of the async snapshots.
+        assert recovered in snapshots

@@ -1,0 +1,146 @@
+"""Recovery procedure and epoch manager edge cases."""
+
+import pytest
+
+from repro.core.epochs import EpochManager
+from repro.core.recovery import recover_pool
+from repro.errors import PoolError, ProtocolError, RecoveryError
+from repro.pm.device import PmDevice
+from repro.pm.log import UndoLogRegion
+from repro.pm.pool import Pool
+
+
+def build():
+    device = PmDevice("pm", 1 << 20)
+    pool = Pool.format(device, log_size=96 * 128)
+    region = UndoLogRegion(device, pool.log_base, pool.log_size)
+    return pool, region
+
+
+class TestRecovery:
+    def test_clean_pool_noop(self):
+        pool, _region = build()
+        report = recover_pool(pool)
+        assert not report.was_dirty
+        assert report.records_rolled_back == 0
+
+    def test_rollback_restores_old_values(self):
+        pool, region = build()
+        addr = pool.data_base
+        pool.device.write(addr, b"NEW" + b"\x00" * 61)
+        region.append(1, addr, b"OLD" + b"\x00" * 61)   # epoch 1 uncommitted
+        report = recover_pool(pool)
+        assert report.records_rolled_back == 1
+        assert pool.device.read(addr, 3) == b"OLD"
+
+    def test_rollback_applies_oldest_last(self):
+        # Two records for the same line (dedup off): the first (epoch-
+        # start) value must win.
+        pool, region = build()
+        addr = pool.data_base
+        region.append(1, addr, b"FIRST" + b"\x00" * 59)
+        region.append(1, addr, b"SECOND" + b"\x00" * 58)
+        recover_pool(pool)
+        assert pool.device.read(addr, 5) == b"FIRST"
+
+    def test_stale_committed_records_ignored(self):
+        # Crash between the epoch-cell write and the log rewind.
+        pool, region = build()
+        addr = pool.data_base
+        pool.device.write(addr, b"KEEP" + b"\x00" * 60)
+        region.append(1, addr, b"STALE" + b"\x00" * 59)
+        pool.commit_epoch(1)
+        report = recover_pool(pool)
+        assert report.records_rolled_back == 0
+        assert pool.device.read(addr, 4) == b"KEEP"
+
+    def test_log_rewound_after_recovery(self):
+        pool, region = build()
+        region.append(1, pool.data_base, b"x" * 64)
+        recover_pool(pool)
+        fresh = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
+        assert list(fresh.scan()) == []
+
+    def test_recovery_idempotent(self):
+        pool, region = build()
+        addr = pool.data_base
+        pool.device.write(addr, b"NEW" + b"\x00" * 61)
+        region.append(1, addr, b"OLD" + b"\x00" * 61)
+        recover_pool(pool)
+        report = recover_pool(pool)
+        assert report.records_rolled_back == 0
+        assert pool.device.read(addr, 3) == b"OLD"
+
+    def test_multi_epoch_rollback_newest_first(self):
+        # Pipelined persists can leave several uncommitted epochs in the
+        # log; all roll back, and the oldest record for a line wins.
+        pool, region = build()
+        addr = pool.data_base
+        pool.device.write(addr, b"E3" + b"\x00" * 62)
+        region.append(1, addr, b"E0" + b"\x00" * 62)   # epoch 1's pre-image
+        region.append(2, addr, b"E1" + b"\x00" * 62)   # epoch 2's pre-image
+        region.append(3, addr, b"E2" + b"\x00" * 62)
+        report = recover_pool(pool)
+        assert report.records_rolled_back == 3
+        assert pool.device.read(addr, 2) == b"E0"
+
+    def test_out_of_order_epochs_rejected(self):
+        pool, region = build()
+        region.append(2, pool.data_base, b"x" * 64)
+        region.append(1, pool.data_base + 64, b"y" * 64)
+        with pytest.raises(RecoveryError):
+            recover_pool(pool)
+
+    def test_out_of_range_target_rejected(self):
+        pool, region = build()
+        region.append(1, 64, b"x" * 64)   # inside the superblock!
+        with pytest.raises(RecoveryError):
+            recover_pool(pool)
+
+    def test_short_record_padded_to_line(self):
+        pool, region = build()
+        addr = pool.data_base
+        pool.device.write(addr, b"\xff" * 64)
+        region.append(1, addr, b"AB")
+        recover_pool(pool)
+        assert pool.device.read(addr, 64) == b"AB" + b"\x00" * 62
+
+
+class TestEpochManager:
+    def test_fresh_pool_opens_epoch_one(self):
+        pool, region = build()
+        manager = EpochManager(pool, region)
+        assert manager.current_epoch == 1
+        assert manager.committed_epoch == 0
+
+    def test_commit_sequence(self):
+        pool, region = build()
+        manager = EpochManager(pool, region)
+        manager.commit(lines_in_epoch=3)
+        assert pool.committed_epoch == 1
+        assert manager.current_epoch == 2
+        manager.commit(lines_in_epoch=0)
+        assert pool.committed_epoch == 2
+
+    def test_commit_rewinds_log(self):
+        pool, region = build()
+        manager = EpochManager(pool, region)
+        region.append(1, pool.data_base, b"x" * 64)
+        manager.commit(lines_in_epoch=1)
+        assert region.used_entries == 0
+
+    def test_out_of_sync_detected(self):
+        pool, region = build()
+        manager = EpochManager(pool, region)
+        pool.commit_epoch(1)    # committed behind the manager's back
+        with pytest.raises(ProtocolError):
+            manager.commit(lines_in_epoch=0)
+
+    def test_resync_after_recovery(self):
+        pool, region = build()
+        manager = EpochManager(pool, region)
+        manager.commit(0)
+        rebuilt = EpochManager(pool, region)
+        assert rebuilt.current_epoch == 2
+        rebuilt.resync_after_recovery()
+        assert rebuilt.current_epoch == 2

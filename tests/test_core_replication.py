@@ -1,0 +1,134 @@
+"""Epoch replication to remote memory (§6 fault tolerance)."""
+
+import pytest
+
+from repro.core.replication import NetworkLink, ReplicaTarget, Replicator
+from repro.errors import ConfigError, ProtocolError
+from repro.pm.device import PmDevice
+from repro.pm.pool import Pool
+from repro.structures import HashMap
+from tests.conftest import make_pax_pool, small_cache_kwargs
+
+POOL_SIZE = 4 * 1024 * 1024
+LOG_SIZE = 256 * 1024
+
+
+def replicated_pool(mode="sync", rtt_ns=2000.0):
+    pool = make_pax_pool()
+    replica_device = PmDevice("replica", POOL_SIZE)
+    replica = ReplicaTarget(Pool.format(replica_device, log_size=LOG_SIZE))
+    link = NetworkLink(pool.machine.clock, rtt_ns=rtt_ns)
+    replicator = Replicator(pool.machine, replica, link=link, mode=mode)
+    return pool, replica, replicator
+
+
+class TestSyncReplication:
+    def test_replica_tracks_every_epoch(self):
+        pool, replica, replicator = replicated_pool("sync")
+        table = pool.persistent(HashMap, capacity=64)
+        for batch in range(3):
+            for key in range(batch * 10, batch * 10 + 10):
+                table.put(key, key)
+            pool.persist()
+            assert replica.replicated_epoch == pool.committed_epoch
+            assert replicator.lag_epochs == 0
+
+    def test_failover_holds_last_snapshot(self):
+        pool, replica, replicator = replicated_pool("sync")
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(25):
+            table.put(key, key * 3)
+        pool.persist()
+        expected = dict(table.to_dict())
+        # Primary dies; unpersisted tail is lost everywhere.
+        table.put(999, 999)
+        pool.crash()
+        standby = replicator.failover(pool_size=POOL_SIZE,
+                                      log_size=LOG_SIZE,
+                                      **small_cache_kwargs())
+        recovered = standby.reattach_root(HashMap)
+        assert recovered.to_dict() == expected
+
+    def test_sync_persist_pays_network(self):
+        plain = make_pax_pool()
+        table = plain.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        plain_cost = plain.persist()
+        pool, _replica, _replicator = replicated_pool("sync", rtt_ns=5000.0)
+        table = pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        replicated_cost = pool.persist()
+        assert replicated_cost > plain_cost + 4000
+
+    def test_layout_mismatch_rejected(self):
+        pool = make_pax_pool()
+        other = PmDevice("replica", POOL_SIZE)
+        replica = ReplicaTarget(Pool.format(other, log_size=LOG_SIZE * 2))
+        with pytest.raises(ConfigError):
+            Replicator(pool.machine, replica)
+
+    def test_bad_mode_rejected(self):
+        pool = make_pax_pool()
+        replica = ReplicaTarget(
+            Pool.format(PmDevice("r", POOL_SIZE), log_size=LOG_SIZE))
+        with pytest.raises(ConfigError):
+            Replicator(pool.machine, replica, mode="eventual")
+
+
+class TestAsyncReplication:
+    def test_lag_then_catch_up(self):
+        pool, replica, replicator = replicated_pool("async")
+        table = pool.persistent(HashMap, capacity=64)
+        for batch in range(3):
+            table.put(batch, batch)
+            pool.persist()
+        # Epochs queue; nothing guaranteed remote yet.
+        assert replicator.lag_epochs >= 0
+        pool.machine.clock.advance(50_000_000)    # plenty of wire time
+        assert replicator.lag_epochs == 0
+        assert replica.replicated_epoch == pool.committed_epoch
+
+    def test_flush_is_a_barrier(self):
+        pool, replica, replicator = replicated_pool("async")
+        table = pool.persistent(HashMap, capacity=64)
+        for batch in range(4):
+            table.put(batch, batch)
+            pool.persist()
+        replicator.flush()
+        assert replicator.lag_epochs == 0
+
+    def test_failover_after_lag_loses_only_tail_epochs(self):
+        pool, replica, replicator = replicated_pool("async",
+                                                    rtt_ns=10_000_000.0)
+        table = pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        pool.persist()
+        replicator.flush()                      # epoch with key 1 is remote
+        table.put(2, 2)
+        pool.persist()                          # queued, slow wire
+        pool.crash()
+        standby = replicator.failover(pool_size=POOL_SIZE,
+                                      log_size=LOG_SIZE,
+                                      **small_cache_kwargs())
+        recovered = standby.reattach_root(HashMap)
+        state = recovered.to_dict()
+        # A whole-epoch boundary: key 1 present, key 2 all-or-nothing.
+        assert state.get(1) == 1
+        assert state in ({1: 1}, {1: 1, 2: 2})
+
+
+class TestReplicaTarget:
+    def test_epoch_gap_rejected(self):
+        replica = ReplicaTarget(
+            Pool.format(PmDevice("r", POOL_SIZE), log_size=LOG_SIZE))
+        with pytest.raises(ProtocolError):
+            replica.apply(5, {})
+
+    def test_in_order_applies(self):
+        pool = Pool.format(PmDevice("r", POOL_SIZE), log_size=LOG_SIZE)
+        replica = ReplicaTarget(pool)
+        addr = pool.data_base
+        replica.apply(1, {addr: b"\x01" * 64})
+        replica.apply(2, {addr: b"\x02" * 64})
+        assert pool.device.read(addr, 1) == b"\x02"
+        assert replica.replicated_epoch == 2

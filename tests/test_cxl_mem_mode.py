@@ -1,0 +1,122 @@
+"""CXL.mem-mode PAX (paper §6): reduced visibility, same guarantees."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.libpax.machine import PaxMachine
+from repro.libpax.pool import PaxPool
+from repro.structures import HashMap
+from tests.conftest import small_cache_kwargs
+
+
+def mem_pool(**overrides):
+    kwargs = dict(pool_size=4 * 1024 * 1024, log_size=256 * 1024,
+                  protocol="cxl.mem")
+    kwargs.update(small_cache_kwargs())
+    kwargs.update(overrides)
+    return PaxPool.map_pool(**kwargs)
+
+
+class TestMemMode:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            PaxMachine(pool_size=2 * 1024 * 1024, log_size=128 * 1024,
+                       protocol="cxl.io")
+
+    def test_functional_put_get(self):
+        pool = mem_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(100):
+            table.put(key, key * 2)
+        pool.persist()
+        assert table.to_dict() == {key: key * 2 for key in range(100)}
+
+    def test_device_hears_nothing_on_ownership(self):
+        # The §6 visibility gap: stores produce no device messages until
+        # a write-back happens.
+        pool = mem_pool()
+        mem = pool.mem()
+        mem.read_u64(4096)                      # warm the line
+        reads = pool.machine.device.stats.get("mem_rd")
+        mem.write_u64(4096, 1)                  # silent E->M upgrade
+        device = pool.machine.device
+        assert device.stats.get("mem_rd") == reads
+        assert device.stats.get("mem_wr") == 0
+        assert device.stats.get("rd_own") == 0
+        assert device.undo.pending_count == 0   # nothing logged yet
+
+    def test_logging_happens_at_writeback(self):
+        pool = mem_pool()
+        mem = pool.mem()
+        mem.write_u64(4096, 42)
+        device = pool.machine.device
+        line = (1 << 32) + 4096 - 4096 % 64
+        pool.machine.hierarchy.writeback_line(line)
+        assert device.stats.get("mem_wr") == 1
+        assert device.stats.get("lines_logged") == 1
+
+    def test_crash_recovery_snapshot_semantics(self):
+        pool = mem_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(30):
+            table.put(key, key)
+        pool.persist()
+        snapshot = dict(table.to_dict())
+        for key in range(30, 60):
+            table.put(key, key)
+        table.put(0, 999)
+        pool.crash()
+        pool.restart()
+        recovered = pool.reattach_root(HashMap)
+        assert recovered.to_dict() == snapshot
+
+    def test_repeated_epochs(self):
+        pool = mem_pool()
+        table = pool.persistent(HashMap, capacity=64)
+        committed = {}
+        for cycle in range(4):
+            for key in range(cycle * 10, cycle * 10 + 10):
+                table.put(key, cycle)
+                committed[key] = cycle
+            pool.persist()
+        pool.crash()
+        pool.restart()
+        assert pool.reattach_root(HashMap).to_dict() == committed
+
+    def test_async_persist_unsupported(self):
+        pool = mem_pool()
+        pool.persistent(HashMap, capacity=64)
+        with pytest.raises(ConfigError):
+            pool.persist_async()
+
+    def test_persist_costs_more_than_cache_mode(self):
+        # §6's point quantified: software CLWB sweeps are the price of
+        # losing coherence visibility.
+        def persist_cost(protocol):
+            pool = (mem_pool() if protocol == "cxl.mem"
+                    else PaxPool.map_pool(pool_size=4 * 1024 * 1024,
+                                          log_size=256 * 1024,
+                                          **small_cache_kwargs()))
+            table = pool.persistent(HashMap, capacity=64)
+            for key in range(100):
+                table.put(key, key)
+            return pool.persist()
+
+        assert persist_cost("cxl.mem") > persist_cost("cxl.cache")
+
+    def test_mid_epoch_eviction_pressure(self):
+        # Lines evicted (and logged+written) mid-epoch, then crash:
+        # rollback must still restore the snapshot.
+        pool = mem_pool(l1_config=None)    # default tiny caches from kwargs
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(20):
+            table.put(key, key)
+        pool.persist()
+        snapshot = dict(table.to_dict())
+        # Heavy churn: plenty of capacity evictions reach the device.
+        for key in range(300):
+            table.put(key, key + 1000)
+        pool.machine.clock.advance(10_000_000)   # drain freely
+        pool.crash()
+        pool.restart()
+        assert pool.reattach_root(HashMap).to_dict() == snapshot

@@ -1,0 +1,52 @@
+"""CXL message vocabulary: validation and wire sizes."""
+
+import pytest
+
+from repro.cxl import messages as msg
+from repro.errors import ProtocolError
+
+
+class TestValidation:
+    def test_unaligned_addr_rejected(self):
+        with pytest.raises(ProtocolError):
+            msg.RdShared(0x41)
+        with pytest.raises(ProtocolError):
+            msg.SnpData(100)
+
+    def test_aligned_ok(self):
+        assert msg.RdShared(0x40).addr == 0x40
+
+    def test_dirty_evict_needs_full_line(self):
+        with pytest.raises(ProtocolError):
+            msg.DirtyEvict(0x40, b"short")
+        assert msg.DirtyEvict(0x40, b"\x00" * 64).wire_bytes == msg.DATA_BYTES
+
+    def test_data_response_state_checked(self):
+        with pytest.raises(ProtocolError):
+            msg.DataResponse(0x40, b"\x00" * 64, "E")
+        assert msg.DataResponse(0x40, b"\x00" * 64, "S").state == "S"
+
+    def test_snp_response_sizes(self):
+        empty = msg.SnpResponse(0x40)
+        full = msg.SnpResponse(0x40, b"\x00" * 64)
+        assert empty.wire_bytes == msg.HEADER_BYTES
+        assert full.wire_bytes == msg.DATA_BYTES
+        assert not empty.was_dirty
+        assert full.was_dirty
+
+    def test_snp_response_partial_data_rejected(self):
+        with pytest.raises(ProtocolError):
+            msg.SnpResponse(0x40, b"half")
+
+
+class TestWireSizes:
+    def test_address_only_smaller_than_data(self):
+        assert msg.RdShared(0x40).wire_bytes < msg.DirtyEvict(
+            0x40, b"\x00" * 64).wire_bytes
+
+    def test_rd_own_is_address_only(self):
+        assert msg.RdOwn(0x40).wire_bytes == msg.HEADER_BYTES
+
+    def test_names(self):
+        assert msg.RdShared(0x40).name == "RdShared"
+        assert msg.Go(0x40).name == "Go"

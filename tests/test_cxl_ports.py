@@ -1,0 +1,96 @@
+"""Protocol ports end-to-end against a real device and hierarchy."""
+
+import pytest
+
+from repro.core.config import PaxConfig
+from repro.core.device import PaxDevice
+from repro.cxl.link import CxlLink
+from repro.cxl.port import DevicePort, HostSnoopPort
+from repro.errors import ProtocolError
+from repro.pm.device import PmDevice
+from repro.pm.pool import Pool
+from repro.sim.clock import SimClock
+from repro.sim.latency import default_model
+
+VPM_BASE = 1 << 32
+
+
+def build_port():
+    pm = PmDevice("pm", 1 << 20)
+    pool = Pool.format(pm, log_size=96 * 256)
+    device = PaxDevice(pool, default_model(), vpm_base=VPM_BASE)
+    link = CxlLink("cxl", SimClock(), 35.0, 63e9)
+    return DevicePort(link, device), device, pool
+
+
+class TestDevicePort:
+    def test_read_shared_roundtrip(self):
+        port, device, pool = build_port()
+        pool.device.write(pool.data_base, b"DATA!" + b"\x00" * 59)
+        data, latency = port.read_shared(VPM_BASE)
+        assert data[:5] == b"DATA!"
+        # Two link hops plus device service.
+        assert latency >= 2 * 35.0
+
+    def test_read_own_with_and_without_data(self):
+        port, device, _pool = build_port()
+        data, _ns = port.read_own(VPM_BASE, need_data=True)
+        assert len(data) == 64
+        payload, _ns = port.read_own(VPM_BASE, need_data=False)
+        assert payload is None
+
+    def test_evict_dirty_roundtrip(self):
+        port, device, _pool = build_port()
+        port.read_own(VPM_BASE, need_data=True)
+        latency = port.evict_dirty(VPM_BASE, b"\x11" * 64)
+        assert latency > 0
+        assert device.writeback.peek(device.to_pool(VPM_BASE)) == b"\x11" * 64
+
+    def test_evict_clean_roundtrip(self):
+        port, _device, _pool = build_port()
+        assert port.evict_clean(VPM_BASE) > 0
+
+    def test_transactions_counted(self):
+        port, _device, _pool = build_port()
+        port.read_shared(VPM_BASE)
+        port.read_shared(VPM_BASE + 64)
+        assert port.stats.get("transactions") == 2
+
+    def test_protocol_violation_detected(self):
+        # A device answering the wrong type must be caught by the adapter.
+        class BrokenDevice:
+            def handle_message(self, message):
+                from repro.cxl import messages as msg
+                return msg.Go(message.addr), 0.0
+
+        port = DevicePort(CxlLink("cxl", SimClock(), 35.0, 63e9),
+                          BrokenDevice())
+        with pytest.raises(ProtocolError):
+            port.read_shared(VPM_BASE)
+
+
+class TestHostSnoopPort:
+    def test_snoop_against_hierarchy(self, pax_machine):
+        mem = pax_machine.mem()
+        mem.write_u64(4096, 0x77)
+        port = pax_machine.snoop_port
+        fresh, latency = port.snoop_shared((4096 // 64) * 64
+                                           + (1 << 32))
+        assert fresh is not None
+        assert latency >= 2 * pax_machine.latency.link.cxl_ns
+        assert port.stats.get("dirty_pulls") == 1
+
+    def test_snoop_clean_line(self, pax_machine):
+        mem = pax_machine.mem()
+        mem.read_u64(4096)
+        fresh, _latency = pax_machine.snoop_port.snoop_shared(
+            (4096 // 64) * 64 + (1 << 32))
+        assert fresh is None
+
+    def test_snoop_invalidate(self, pax_machine):
+        mem = pax_machine.mem()
+        mem.write_u64(4096, 5)
+        line = (4096 // 64) * 64 + (1 << 32)
+        fresh, _latency = pax_machine.snoop_port.snoop_invalidate(line)
+        assert fresh is not None
+        assert pax_machine.hierarchy.directory.sharers(line) == []

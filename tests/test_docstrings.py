@@ -1,0 +1,95 @@
+"""Documentation gate: every public item in the library has a docstring.
+
+Deliverable (e) made enforceable: modules, public classes, public
+methods, and public functions across ``repro`` must carry docstrings.
+Private names (leading underscore), dunders other than ``__init__``'s
+class, and trivial inherited members are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_METHODS = {
+    # dunders and stdlib-conventional names whose behaviour is defined by
+    # the protocol they implement.
+    "__init__", "__repr__", "__len__", "__iter__", "__contains__",
+    "__getitem__", "__setitem__", "__enter__", "__exit__", "__eq__",
+    "__hash__", "__getattr__", "__post_init__",
+}
+
+
+def _all_modules():
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+MODULES = _all_modules()
+
+
+def _inherits_documented_contract(cls, method_name):
+    for base in cls.__mro__[1:]:
+        member = base.__dict__.get(method_name)
+        if member is None:
+            continue
+        func = member
+        if isinstance(member, (staticmethod, classmethod)):
+            func = member.__func__
+        elif isinstance(member, property):
+            func = member.fget
+        if getattr(func, "__doc__", None) and func.__doc__.strip():
+            return True
+    return False
+
+
+def test_every_module_found():
+    assert len(MODULES) > 40
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_and_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        "%s has no module docstring" % module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue        # re-export; documented at its home
+        if inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append("%s.%s" % (module_name, name))
+            for method_name, member in vars(obj).items():
+                if method_name.startswith("_") \
+                        and method_name not in ("__init__",):
+                    continue
+                if method_name in SKIP_METHODS:
+                    continue
+                if _inherits_documented_contract(obj, method_name):
+                    # An override of a documented base-class method
+                    # carries the base's contract.
+                    continue
+                func = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                elif isinstance(member, property):
+                    func = member.fget
+                if not callable(func):
+                    continue
+                if not (getattr(func, "__doc__", None)
+                        and func.__doc__.strip()):
+                    missing.append("%s.%s.%s" % (module_name, name,
+                                                 method_name))
+        elif inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append("%s.%s" % (module_name, name))
+    assert not missing, "undocumented public items:\n  " + \
+        "\n  ".join(missing)

@@ -1,0 +1,101 @@
+"""Boundary and failure-path edge cases across subsystems."""
+
+import pytest
+
+from repro.analysis.amat import figure_2a
+from repro.errors import AddressError, LogError
+from repro.pm.device import PmDevice
+from repro.pm.log import ENTRY_SIZE, UndoLogRegion, encode_entry
+from repro.structures import HashMap
+from tests.conftest import make_pax_pool
+
+
+class TestVpmBoundaries:
+    def test_access_beyond_heap_rejected(self, pax_machine):
+        mem = pax_machine.mem()
+        with pytest.raises(AddressError):
+            mem.read_u64(pax_machine.heap_size + 64)
+
+    def test_access_at_last_line_ok(self, pax_machine):
+        mem = pax_machine.mem()
+        last = pax_machine.heap_size - 8
+        mem.write_u64(last, 0xE0F)
+        assert mem.read_u64(last) == 0xE0F
+
+    def test_store_spanning_three_lines(self, pax_machine):
+        mem = pax_machine.mem()
+        blob = bytes(range(140))
+        mem.write(4090, blob)
+        assert mem.read(4090, 140) == blob
+        # [4090, 4230) touches lines 4032/4096/4160/4224: four first-store
+        # notifications reach the device.
+        assert pax_machine.device.stats.get("lines_logged") == 4
+
+
+class TestTornLogTail:
+    def test_scan_stops_at_half_written_entry(self):
+        device = PmDevice("pm", 1 << 20)
+        region = UndoLogRegion(device, 4096, 32 * ENTRY_SIZE)
+        region.append(1, 0x1000, b"a" * 64)
+        # A crash tore the next append half-way: only the first 40 bytes
+        # of the entry landed.
+        torn = encode_entry(1, 0x1040, b"b" * 64)[:40]
+        device.write(4096 + ENTRY_SIZE, torn)
+        fresh = UndoLogRegion(device, 4096, 32 * ENTRY_SIZE)
+        entries = list(fresh.scan())
+        assert len(entries) == 1
+        assert entries[0].addr == 0x1000
+
+    def test_full_log_raises_with_guidance(self):
+        pool = make_pax_pool(log_size=ENTRY_SIZE * 32 // 64 * 64 + 64 * 30)
+        table = pool.persistent(HashMap, capacity=64)
+        with pytest.raises(LogError) as excinfo:
+            for key in range(100000):
+                table.put(key, key)
+        assert "persist()" in str(excinfo.value)
+
+
+class TestFigure2aFunction:
+    def test_one_call_pipeline(self):
+        model, estimates = figure_2a(record_count=6000, op_count=6000)
+        assert set(estimates) == {"dram", "pm", "pm_cxl", "pm_enzian"}
+        assert estimates["dram"] <= estimates["pm"] \
+            <= estimates["pm_cxl"] <= estimates["pm_enzian"]
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_persist_loop(self, pax_pool):
+        for _ in range(5):
+            pax_pool.persist()
+        assert pax_pool.committed_epoch == 5
+
+    def test_persist_async_with_nothing_touched(self, pax_pool):
+        flight = pax_pool.persist_async()
+        pax_pool.persist_barrier()
+        assert flight.committed
+
+    def test_crash_immediately_after_open(self):
+        # The allocator header written at open belongs to the (never
+        # committed) first epoch: recovery legitimately rolls it back and
+        # restart re-creates it — the pool must come back fully usable.
+        pool = make_pax_pool()
+        pool.crash()
+        report = pool.restart()
+        assert pool.committed_epoch == 0
+        assert report.records_rolled_back >= 0
+        table = pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        pool.persist()
+        assert table.get(1) == 1
+
+    def test_double_crash_rejected(self, pax_pool):
+        from repro.errors import CrashedError
+        pax_pool.persistent(HashMap, capacity=64)
+        pax_pool.crash()
+        with pytest.raises(CrashedError):
+            pax_pool.persist()
+
+    def test_zero_length_access(self, pax_machine):
+        mem = pax_machine.mem()
+        assert mem.read(4096, 0) == b""
+        mem.write(4096, b"")

@@ -1,0 +1,37 @@
+"""Every example must run clean — examples are documentation that rots
+fastest, so they get executed in the suite (each finishes in seconds)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    # quickstart writes ht.pool next to itself; run from a temp cwd copy
+    # of nothing — the script computes its own path, so instead point it
+    # at a scratch pool by pre-removing any stale one.
+    pool_artifact = os.path.join(EXAMPLES_DIR, "ht.pool")
+    if os.path.exists(pool_artifact):
+        os.remove(pool_artifact)
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=600, env=env)
+    assert result.returncode == 0, (
+        "%s failed:\n%s\n%s" % (script, result.stdout[-2000:],
+                                result.stderr[-2000:]))
+    assert result.stdout.strip(), "%s produced no output" % script
+    if os.path.exists(pool_artifact):
+        os.remove(pool_artifact)

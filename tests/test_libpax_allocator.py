@@ -1,0 +1,172 @@
+"""The persistent allocator: classes, free lists, persistence of metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.libpax.allocator import (
+    ARENA_OFFSET,
+    PmAllocator,
+    SIZE_CLASSES,
+    class_for_size,
+)
+from repro.mem.accessor import RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+
+ARENA = 256 * 1024
+
+
+def fresh_mem():
+    space = AddressSpace()
+    space.map_device(4096, MemoryDevice("m", ARENA))
+    from repro.mem.accessor import OffsetAccessor
+    return OffsetAccessor(RawAccessor(space), 4096)
+
+
+class TestSizeClasses:
+    def test_exact_class(self):
+        index, block = class_for_size(24)
+        assert block == 24
+
+    def test_round_up(self):
+        _index, block = class_for_size(25)
+        assert block == 32
+
+    def test_large_rounds_to_pages(self):
+        index, block = class_for_size(5000)
+        assert index is None
+        assert block == 8192
+
+    def test_zero_rejected(self):
+        with pytest.raises(AllocationError):
+            class_for_size(0)
+
+    def test_classes_sorted(self):
+        assert list(SIZE_CLASSES) == sorted(SIZE_CLASSES)
+
+
+class TestAllocator:
+    def test_create_and_alloc(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        offset = alloc.alloc(24)
+        assert offset >= ARENA_OFFSET
+        assert offset % 16 == 0
+
+    def test_never_returns_null(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        for _ in range(100):
+            assert alloc.alloc(16) != 0
+
+    def test_allocations_disjoint(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        blocks = [(alloc.alloc(48), 48) for _ in range(50)]
+        blocks.sort()
+        for (a, size), (b, _s) in zip(blocks, blocks[1:]):
+            assert a + size <= b
+
+    def test_free_then_reuse(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        block = alloc.alloc(24)
+        alloc.free(block, 24)
+        assert alloc.alloc(24) == block
+        assert alloc.stats.get("freelist_hits") == 1
+
+    def test_free_lists_are_per_class(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        small = alloc.alloc(16)
+        alloc.free(small, 16)
+        big = alloc.alloc(128)
+        assert big != small
+
+    def test_free_null_is_noop(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        alloc.free(0, 24)
+
+    def test_large_blocks_leak_by_design(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        block = alloc.alloc(8192)
+        alloc.free(block, 8192)
+        assert alloc.stats.get("large_leaks") == 1
+
+    def test_exhaustion(self):
+        mem = fresh_mem()
+        alloc = PmAllocator.create(mem, 8192)
+        with pytest.raises(AllocationError):
+            for _ in range(10000):
+                alloc.alloc(64)
+
+    def test_attach_sees_created_state(self):
+        mem = fresh_mem()
+        alloc = PmAllocator.create(mem, ARENA)
+        block = alloc.alloc(24)
+        alloc.free(block, 24)
+        attached = PmAllocator.attach(mem)
+        assert attached.alloc(24) == block    # free list persisted
+
+    def test_attach_unformatted_rejected(self):
+        with pytest.raises(AllocationError):
+            PmAllocator.attach(fresh_mem())
+
+    def test_create_or_attach(self):
+        mem = fresh_mem()
+        first = PmAllocator.create_or_attach(mem, ARENA)
+        bump = first.bump
+        second = PmAllocator.create_or_attach(mem, ARENA)
+        assert second.bump == bump            # attached, not re-created
+
+    def test_bytes_remaining_decreases(self):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        before = alloc.bytes_remaining()
+        alloc.alloc(64)
+        assert alloc.bytes_remaining() < before
+
+    def test_arena_too_small_rejected(self):
+        with pytest.raises(AllocationError):
+            PmAllocator.create(fresh_mem(), 64)
+
+    def test_allocator_state_is_crash_consistent_under_pax(self):
+        # The allocator's metadata rides the same snapshot as the
+        # structures (DESIGN.md: this is load-bearing for black-box
+        # reuse). After a crash, allocations rolled back must be
+        # re-allocatable, and new allocations must not overlap anything
+        # the recovered structure still references.
+        from repro.structures import HashMap
+        from tests.conftest import make_pax_pool
+        pool = make_pax_pool()
+        table = pool.persistent(HashMap, capacity=16)
+        for key in range(20):
+            table.put(key, key)
+        pool.persist()
+        bump_committed = pool.allocator.bump
+        for key in range(20, 60):
+            table.put(key, key)          # allocations past the snapshot
+        assert pool.allocator.bump > bump_committed
+        pool.crash()
+        pool.restart()
+        # Rolled back: the heap high-water mark is the committed one.
+        assert pool.allocator.bump == bump_committed
+        recovered = pool.reattach_root(HashMap)
+        # New allocations reuse the rolled-back space without corrupting
+        # the recovered structure.
+        for key in range(100, 140):
+            recovered.put(key, key)
+        expected = {key: key for key in range(20)}
+        expected.update({key: key for key in range(100, 140)})
+        assert recovered.to_dict() == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=60))
+    def test_alloc_free_alloc_no_overlap(self, sizes):
+        alloc = PmAllocator.create(fresh_mem(), ARENA)
+        live = {}
+        for index, size in enumerate(sizes):
+            offset = alloc.alloc(size)
+            _cls, block = class_for_size(size)
+            for other, other_block in live.items():
+                assert offset + block <= other or other + other_block <= offset
+            live[offset] = block
+            if index % 3 == 2:
+                victim = next(iter(live))
+                alloc.free(victim, live.pop(victim))

@@ -1,0 +1,216 @@
+"""The libpax user API: map_pool, persistent(), Persistent[T], recovery."""
+
+import pytest
+
+from repro.errors import PoolError
+from repro.libpax.persistent import Persistent
+from repro.structures import HashMap, PersistentList, PersistentVector
+from tests.conftest import make_pax_pool
+
+
+class TestMapPool:
+    def test_fresh_pool_creates_structure(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        assert len(table) == 0
+        assert pax_pool.machine.pool.root_ptr == table.root
+
+    def test_persistent_is_create_or_recover(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 100)
+        again = pax_pool.persistent(HashMap)
+        assert again.root == table.root
+        assert again.get(1) == 100
+
+    def test_listing1_full_sequence(self, pax_pool):
+        # The paper's Listing 1, line for line.
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 100)
+        assert table.get(1) == 100
+        table.put(2, 200)
+        pax_pool.persist()
+        assert pax_pool.committed_epoch >= 2
+
+    def test_file_backed_pool(self, tmp_path):
+        path = str(tmp_path / "ht.pool")
+        pool = make_pax_pool(path=path)
+        table = pool.persistent(HashMap, capacity=64)
+        table.put(5, 50)
+        pool.persist()
+        pool.close()
+        reopened = make_pax_pool(path=path)
+        table2 = reopened.persistent(HashMap)
+        assert table2.get(5) == 50
+
+
+class TestCrashRecovery:
+    def test_snapshot_semantics(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        for key in range(20):
+            table.put(key, key)
+        pax_pool.persist()
+        for key in range(20, 40):
+            table.put(key, key)
+        table.put(0, 999)
+        pax_pool.crash()
+        report = pax_pool.restart()
+        assert report.was_dirty or report.records_rolled_back >= 0
+        recovered = pax_pool.reattach_root(HashMap)
+        assert recovered.to_dict() == {key: key for key in range(20)}
+
+    def test_multiple_epochs(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        for epoch in range(5):
+            for key in range(10):
+                table.put(epoch * 10 + key, epoch)
+            pax_pool.persist()
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(HashMap)
+        assert len(recovered) == 50
+
+    def test_crash_with_nothing_persisted(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        base = table.to_dict()
+        for key in range(10):
+            table.put(key, key)
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(HashMap)
+        assert recovered.to_dict() == base
+
+    def test_reattach_without_root_rejected(self):
+        pool = make_pax_pool()
+        with pytest.raises(PoolError):
+            pool.reattach_root(HashMap)
+
+    def test_undo_log_growth_visible(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        pax_pool.machine.device.undo.pump()
+        assert pax_pool.undo_log_entries > 0
+        pax_pool.persist()
+        assert pax_pool.undo_log_entries == 0
+
+
+class TestOtherStructuresOnPax:
+    def test_vector(self, pax_pool):
+        vector = pax_pool.persistent(PersistentVector, capacity=4)
+        for value in range(50):
+            vector.append(value)
+        pax_pool.persist()
+        vector.append(999)
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(PersistentVector)
+        assert recovered.to_list() == list(range(50))
+
+    def test_linked_list(self, pax_pool):
+        linked = pax_pool.persistent(PersistentList)
+        for value in range(10):
+            linked.push_back(value)
+        pax_pool.persist()
+        linked.push_front(99)
+        linked.pop_back()
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(PersistentList)
+        assert recovered.to_list() == list(range(10))
+        recovered.check_links()
+
+
+class TestOperationGuard:
+    def test_persist_inside_operation_rejected(self, pax_pool):
+        from repro.errors import ProtocolError
+        table = pax_pool.persistent(HashMap, capacity=64)
+        with pax_pool.operation():
+            table.put(1, 1)
+            with pytest.raises(ProtocolError):
+                pax_pool.persist()
+            with pytest.raises(ProtocolError):
+                pax_pool.persist_async()
+
+    def test_persist_after_operation_ok(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        with pax_pool.operation():
+            table.put(1, 1)
+        pax_pool.persist()
+        assert pax_pool.committed_epoch >= 2
+
+    def test_nested_operations(self, pax_pool):
+        from repro.errors import ProtocolError
+        pax_pool.persistent(HashMap, capacity=64)
+        with pax_pool.operation():
+            with pax_pool.operation():
+                pass
+            with pytest.raises(ProtocolError):
+                pax_pool.persist()
+        pax_pool.persist()
+
+    def test_guard_released_on_exception(self, pax_pool):
+        pax_pool.persistent(HashMap, capacity=64)
+        with pytest.raises(RuntimeError):
+            with pax_pool.operation():
+                raise RuntimeError("op blew up")
+        pax_pool.persist()      # guard must not leak
+
+
+class TestAutoPersist:
+    """Paper §3.2: periodic persist() to bound undo log growth."""
+
+    def test_log_fullness_reported(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        assert pax_pool.log_fullness == 0.0
+        table.put(1, 1)
+        assert pax_pool.log_fullness > 0.0
+
+    def test_maybe_persist_respects_threshold(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        table.put(1, 1)
+        assert not pax_pool.maybe_persist(threshold=0.99)
+        assert pax_pool.maybe_persist(threshold=1e-9)
+        assert pax_pool.log_fullness == 0.0
+
+    def test_maybe_persist_defers_during_operation(self, pax_pool):
+        table = pax_pool.persistent(HashMap, capacity=64)
+        with pax_pool.operation():
+            table.put(1, 1)
+            assert not pax_pool.maybe_persist(threshold=1e-9)
+
+    def test_auto_persist_prevents_log_exhaustion(self):
+        from repro.pm.log import ENTRY_SIZE
+        # A log that holds ~40 entries would normally exhaust quickly;
+        # the valve keeps the workload running indefinitely. (The log must
+        # still fit the largest single operation — capacity 2048 avoids a
+        # resize, which rewrites the whole bucket array in one op.)
+        pool = make_pax_pool(log_size=(40 * ENTRY_SIZE // 64 + 1) * 64,
+                             auto_persist_log_fraction=0.6)
+        table = pool.persistent(HashMap, capacity=64)
+        for key in range(100):              # stays below the resize point
+            with pool.operation():
+                table.put(key, key)
+        assert len(table) == 100
+        assert pool.committed_epoch > 3     # the valve fired repeatedly
+
+    def test_invalid_fraction_rejected(self):
+        from repro.errors import PoolError
+        with pytest.raises(PoolError):
+            make_pax_pool(auto_persist_log_fraction=1.5)
+
+
+class TestPersistentWrapper:
+    def test_delegation(self, pax_pool):
+        handle = Persistent(pax_pool, HashMap, capacity=64)
+        handle.put(1, 10)
+        assert handle.get(1) == 10
+        assert len(handle) == 1
+
+    def test_persist_through_handle(self, pax_pool):
+        handle = Persistent(pax_pool, HashMap, capacity=64)
+        handle.put(1, 10)
+        handle.persist()
+        handle.put(2, 20)
+        pax_pool.crash()
+        pax_pool.restart()
+        handle.reattach()
+        assert handle.get(1) == 10
+        assert handle.get(2) is None

@@ -1,0 +1,89 @@
+"""Typed accessors: integer helpers, offset views, counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.accessor import (
+    CountingAccessor,
+    OffsetAccessor,
+    RawAccessor,
+)
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+
+
+def raw_accessor():
+    space = AddressSpace()
+    space.map_device(0x10000, MemoryDevice("m", 64 * 1024))
+    return RawAccessor(space)
+
+
+class TestTypedHelpers:
+    def test_u8(self):
+        mem = raw_accessor()
+        mem.write_u8(0x10000, 0x7F)
+        assert mem.read_u8(0x10000) == 0x7F
+
+    def test_u16_endianness(self):
+        mem = raw_accessor()
+        mem.write_u16(0x10000, 0x1234)
+        assert mem.read(0x10000, 2) == b"\x34\x12"
+
+    def test_u32(self):
+        mem = raw_accessor()
+        mem.write_u32(0x10000, 0xDEADBEEF)
+        assert mem.read_u32(0x10000) == 0xDEADBEEF
+
+    def test_u64(self):
+        mem = raw_accessor()
+        mem.write_u64(0x10000, 2**64 - 1)
+        assert mem.read_u64(0x10000) == 2**64 - 1
+
+    def test_u64_truncates_overflow(self):
+        mem = raw_accessor()
+        mem.write_u64(0x10000, 2**64 + 5)
+        assert mem.read_u64(0x10000) == 5
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_roundtrip(self, value):
+        mem = raw_accessor()
+        mem.write_u64(0x10040, value)
+        assert mem.read_u64(0x10040) == value
+
+    def test_memset(self):
+        mem = raw_accessor()
+        mem.memset(0x10000, 16, 0xCC)
+        assert mem.read(0x10000, 16) == b"\xcc" * 16
+
+    def test_memcpy(self):
+        mem = raw_accessor()
+        mem.write(0x10000, b"payload!")
+        mem.memcpy(0x10100, 0x10000, 8)
+        assert mem.read(0x10100, 8) == b"payload!"
+
+
+class TestOffsetAccessor:
+    def test_translation(self):
+        inner = raw_accessor()
+        view = OffsetAccessor(inner, 0x10000)
+        view.write_u64(0, 42)
+        assert inner.read_u64(0x10000) == 42
+        assert view.read_u64(0) == 42
+
+    def test_nested_offsets(self):
+        inner = raw_accessor()
+        outer = OffsetAccessor(OffsetAccessor(inner, 0x10000), 0x100)
+        outer.write(0, b"hi")
+        assert inner.read(0x10100, 2) == b"hi"
+
+
+class TestCountingAccessor:
+    def test_counts(self):
+        counting = CountingAccessor(raw_accessor())
+        counting.write(0x10000, b"abcd")
+        counting.read(0x10000, 4)
+        counting.read(0x10000, 2)
+        assert counting.stores == 1
+        assert counting.loads == 2
+        assert counting.bytes_stored == 4
+        assert counting.bytes_loaded == 6

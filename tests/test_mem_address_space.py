@@ -1,0 +1,80 @@
+"""The system address map: routing, overlap rejection, crash fan-out."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import DramDevice, MemoryDevice
+
+
+def space_with_two_devices():
+    space = AddressSpace()
+    a = MemoryDevice("a", 4096)
+    b = MemoryDevice("b", 4096)
+    space.map_device(0x10000, a)
+    space.map_device(0x20000, b)
+    return space, a, b
+
+
+class TestMapping:
+    def test_routing(self):
+        space, a, b = space_with_two_devices()
+        space.write(0x10010, b"AA")
+        space.write(0x20020, b"BB")
+        assert a.read(0x10, 2) == b"AA"
+        assert b.read(0x20, 2) == b"BB"
+
+    def test_overlap_rejected(self):
+        space, _a, _b = space_with_two_devices()
+        with pytest.raises(ConfigError):
+            space.map_device(0x10800, MemoryDevice("c", 4096))
+
+    def test_overlap_before_rejected(self):
+        space = AddressSpace()
+        space.map_device(0x20000, MemoryDevice("a", 4096))
+        with pytest.raises(ConfigError):
+            space.map_device(0x1F000, MemoryDevice("b", 8192))
+
+    def test_adjacent_mappings_allowed(self):
+        space = AddressSpace()
+        space.map_device(0x10000, MemoryDevice("a", 4096))
+        space.map_device(0x11000, MemoryDevice("b", 4096))
+        assert space.device_at(0x10FFF).name == "a"
+        assert space.device_at(0x11000).name == "b"
+
+    def test_low_mapping_rejected(self):
+        # Address 0 stays NULL.
+        with pytest.raises(ConfigError):
+            AddressSpace().map_device(0, MemoryDevice("a", 64))
+
+    def test_unmapped_access(self):
+        space, _a, _b = space_with_two_devices()
+        with pytest.raises(AddressError):
+            space.read(0x500, 1)
+        with pytest.raises(AddressError):
+            space.read(0x18000, 1)
+
+    def test_access_spanning_device_end_rejected(self):
+        space, _a, _b = space_with_two_devices()
+        with pytest.raises(AddressError):
+            space.read(0x10000 + 4090, 10)
+
+    def test_resolve_offsets(self):
+        space, _a, _b = space_with_two_devices()
+        mapping, offset = space.resolve(0x10020, 4)
+        assert mapping.base == 0x10000
+        assert offset == 0x20
+
+
+class TestCrashFanOut:
+    def test_crash_reaches_all_devices(self):
+        space = AddressSpace()
+        dram = DramDevice("dram", 4096)
+        keep = MemoryDevice("keep", 4096)
+        space.map_device(0x10000, dram)
+        space.map_device(0x20000, keep)
+        space.write(0x10000, b"gone")
+        space.write(0x20000, b"kept")
+        space.on_crash()
+        assert space.read(0x10000, 4) == bytes(4)
+        assert space.read(0x20000, 4) == b"kept"

@@ -1,0 +1,104 @@
+"""Struct layouts: offsets, alignment, views, arrays."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.accessor import RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import StructLayout
+from repro.mem.physical import MemoryDevice
+
+
+def mem():
+    space = AddressSpace()
+    space.map_device(0x10000, MemoryDevice("m", 4096))
+    return RawAccessor(space)
+
+
+class TestLayout:
+    def test_offsets_sequential(self):
+        layout = StructLayout("s", [("a", "u64"), ("b", "u64")])
+        assert layout.offset("a") == 0
+        assert layout.offset("b") == 8
+        assert layout.size == 16
+
+    def test_natural_alignment_padding(self):
+        layout = StructLayout("s", [("a", "u8"), ("b", "u64")])
+        assert layout.offset("b") == 8
+        assert layout.size == 16
+
+    def test_packed_small_fields(self):
+        layout = StructLayout("s", [("a", "u8"), ("b", "u8"), ("c", "u16")])
+        assert layout.offset("c") == 2
+
+    def test_size_rounds_to_word(self):
+        layout = StructLayout("s", [("a", "u8")])
+        assert layout.size == 8
+
+    def test_array_field(self):
+        layout = StructLayout("s", [("heads", "u64:4"), ("tail", "u64")])
+        assert layout.offset("tail") == 32
+
+    def test_bytes_field(self):
+        layout = StructLayout("s", [("blob", "bytes:10"), ("n", "u64")])
+        assert layout.field("blob").size == 10
+        assert layout.offset("n") == 16   # aligned up
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ConfigError):
+            StructLayout("s", [("a", "u64"), ("a", "u64")])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            StructLayout("s", [("a", "f64")])
+
+    def test_empty_struct_has_min_size(self):
+        assert StructLayout("s", []).size == 8
+
+
+class TestView:
+    def test_scalar_roundtrip(self):
+        layout = StructLayout("s", [("key", "u64"), ("flags", "u32")])
+        view = layout.view(mem(), 0x10100)
+        view.set("key", 77)
+        view.set("flags", 3)
+        assert view.get("key") == 77
+        assert view.get("flags") == 3
+
+    def test_array_elements(self):
+        layout = StructLayout("s", [("heads", "u64:4")])
+        view = layout.view(mem(), 0x10100)
+        for index in range(4):
+            view.set("heads", index * 11, index=index)
+        assert [view.get("heads", index=i) for i in range(4)] == [0, 11, 22, 33]
+
+    def test_array_bounds(self):
+        layout = StructLayout("s", [("heads", "u64:2")])
+        view = layout.view(mem(), 0x10100)
+        with pytest.raises(ConfigError):
+            view.get("heads", index=2)
+
+    def test_bytes_roundtrip(self):
+        layout = StructLayout("s", [("blob", "bytes:4")])
+        view = layout.view(mem(), 0x10100)
+        view.set("blob", b"abcd")
+        assert view.get("blob") == b"abcd"
+
+    def test_bytes_wrong_size_rejected(self):
+        layout = StructLayout("s", [("blob", "bytes:4")])
+        view = layout.view(mem(), 0x10100)
+        with pytest.raises(ConfigError):
+            view.set("blob", b"toolong")
+
+    def test_field_addr(self):
+        layout = StructLayout("s", [("a", "u64"), ("b", "u64")])
+        view = layout.view(mem(), 0x10100)
+        assert view.field_addr("b") == 0x10108
+
+    def test_views_are_memory_backed(self):
+        layout = StructLayout("s", [("a", "u64")])
+        accessor = mem()
+        view1 = layout.view(accessor, 0x10100)
+        view2 = layout.view(accessor, 0x10100)
+        view1.set("a", 9)
+        assert view2.get("a") == 9

@@ -1,0 +1,101 @@
+"""Page table protections and the faulting accessor."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.mem.accessor import RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.page_table import FaultingAccessor, PagePermission, PageTable
+from repro.mem.physical import MemoryDevice
+from repro.util.constants import PAGE_SIZE
+
+
+def setup():
+    space = AddressSpace()
+    space.map_device(PAGE_SIZE, MemoryDevice("m", 16 * PAGE_SIZE))
+    inner = RawAccessor(space)
+    table = PageTable(PAGE_SIZE, 16 * PAGE_SIZE)
+    return inner, table
+
+
+class TestPageTable:
+    def test_default_read_write(self):
+        _inner, table = setup()
+        assert table.is_writable(PAGE_SIZE + 100)
+
+    def test_protect_read_only(self):
+        _inner, table = setup()
+        table.protect_all(PagePermission.READ)
+        assert not table.is_writable(PAGE_SIZE)
+
+    def test_protect_range_covers_pages(self):
+        _inner, table = setup()
+        table.protect(PAGE_SIZE + 100, PAGE_SIZE, PagePermission.READ)
+        assert not table.is_writable(PAGE_SIZE)        # page of addr 100
+        assert not table.is_writable(2 * PAGE_SIZE)    # next page touched
+        assert table.is_writable(3 * PAGE_SIZE)
+
+    def test_dirty_tracking(self):
+        _inner, table = setup()
+        table.mark_dirty(PAGE_SIZE + 5)
+        table.mark_dirty(PAGE_SIZE + 6)        # same page
+        table.mark_dirty(3 * PAGE_SIZE)
+        assert table.dirty_pages() == [PAGE_SIZE, 3 * PAGE_SIZE]
+        table.clear_dirty()
+        assert table.dirty_pages() == []
+
+    def test_out_of_range_rejected(self):
+        _inner, table = setup()
+        with pytest.raises(ProtectionError):
+            table.permission(100 * PAGE_SIZE)
+
+
+class TestFaultingAccessor:
+    def test_fault_fires_once_per_page(self):
+        inner, table = setup()
+        faults = []
+
+        def handler(page):
+            faults.append(page)
+            table.protect(page, PAGE_SIZE, PagePermission.READ_WRITE)
+
+        accessor = FaultingAccessor(inner, table, handler)
+        table.protect_all(PagePermission.READ)
+        accessor.write(PAGE_SIZE + 8, b"x")
+        accessor.write(PAGE_SIZE + 64, b"y")       # same page: no new fault
+        accessor.write(2 * PAGE_SIZE, b"z")        # new page: fault
+        assert faults == [PAGE_SIZE, 2 * PAGE_SIZE]
+        assert accessor.stats.get("write_faults") == 2
+
+    def test_loads_never_fault(self):
+        inner, table = setup()
+        accessor = FaultingAccessor(
+            inner, table, lambda page: pytest.fail("load faulted"))
+        table.protect_all(PagePermission.READ)
+        accessor.read(PAGE_SIZE, 8)
+
+    def test_handler_must_unprotect(self):
+        inner, table = setup()
+        accessor = FaultingAccessor(inner, table, lambda page: None)
+        table.protect_all(PagePermission.READ)
+        with pytest.raises(ProtectionError):
+            accessor.write(PAGE_SIZE, b"x")
+
+    def test_write_spanning_pages_faults_both(self):
+        inner, table = setup()
+        faults = []
+
+        def handler(page):
+            faults.append(page)
+            table.protect(page, PAGE_SIZE, PagePermission.READ_WRITE)
+
+        accessor = FaultingAccessor(inner, table, handler)
+        table.protect_all(PagePermission.READ)
+        accessor.write(2 * PAGE_SIZE - 4, b"12345678")
+        assert faults == [PAGE_SIZE, 2 * PAGE_SIZE]
+
+    def test_dirty_marked_on_write(self):
+        inner, table = setup()
+        accessor = FaultingAccessor(inner, table, lambda page: None)
+        accessor.write(PAGE_SIZE + 10, b"d")
+        assert table.dirty_pages() == [PAGE_SIZE]

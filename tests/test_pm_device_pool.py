@@ -1,0 +1,134 @@
+"""PM device durability and the pool file format."""
+
+import os
+
+import pytest
+
+from repro.errors import PoolError
+from repro.pm.device import PmDevice
+from repro.pm.pool import Pool, EPOCH_OFFSET
+
+
+class TestPmDevice:
+    def test_survives_crash(self):
+        device = PmDevice("pm", 4096)
+        device.write(0, b"durable")
+        device.on_crash()
+        assert device.read(0, 7) == b"durable"
+
+    def test_line_write_accounting(self):
+        device = PmDevice("pm", 4096)
+        device.write(60, b"12345678")    # spans two lines
+        assert device.stats.get("lines_written") == 2
+        assert device.media_write_bytes == 128
+
+    def test_file_backing_roundtrip(self, tmp_path):
+        path = str(tmp_path / "pool.pm")
+        device = PmDevice("pm", 4096, backing_path=path)
+        device.write(100, b"persist me")
+        device.sync()
+        reopened = PmDevice("pm", 4096, backing_path=path)
+        assert reopened.read(100, 10) == b"persist me"
+
+    def test_sync_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "pool.pm")
+        device = PmDevice("pm", 4096, backing_path=path)
+        device.sync()
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_unbacked_sync_noop(self):
+        PmDevice("pm", 4096).sync()
+
+
+class TestPoolFormat:
+    def test_format_and_open(self):
+        device = PmDevice("pm", 1 << 20)
+        pool = Pool.format(device, log_size=64 * 96)
+        reopened = Pool.open(device)
+        assert reopened.log_base == pool.log_base
+        assert reopened.data_size == pool.data_size
+        assert reopened.committed_epoch == 0
+
+    def test_open_or_format_idempotent(self):
+        device = PmDevice("pm", 1 << 20)
+        first = Pool.open_or_format(device, log_size=96 * 1024)
+        first.commit_epoch(1)
+        second = Pool.open_or_format(device)
+        assert second.committed_epoch == 1
+
+    def test_open_blank_device_fails(self):
+        with pytest.raises(PoolError):
+            Pool.open(PmDevice("pm", 1 << 20))
+
+    def test_corrupt_header_detected(self):
+        device = PmDevice("pm", 1 << 20)
+        Pool.format(device, log_size=96 * 1024)
+        device.write(8, b"\xff")     # corrupt the version field
+        with pytest.raises(PoolError):
+            Pool.open(device)
+
+    def test_size_mismatch_detected(self):
+        device = PmDevice("pm", 1 << 20)
+        Pool.format(device, log_size=96 * 1024)
+        blob = device.read(0, 4096)
+        bigger = PmDevice("pm2", 1 << 21)
+        bigger.write(0, blob)
+        with pytest.raises(PoolError):
+            Pool.open(bigger)
+
+    def test_unaligned_log_size_rejected(self):
+        with pytest.raises(PoolError):
+            Pool.format(PmDevice("pm", 1 << 20), log_size=100)
+
+    def test_too_small_device_rejected(self):
+        with pytest.raises(PoolError):
+            Pool.format(PmDevice("pm", 8192), log_size=8192)
+
+
+class TestEpochCell:
+    def test_commit_advances(self):
+        pool = Pool.format(PmDevice("pm", 1 << 20), log_size=96 * 1024)
+        pool.commit_epoch(1)
+        pool.commit_epoch(2)
+        assert pool.committed_epoch == 2
+
+    def test_commit_must_be_monotonic(self):
+        pool = Pool.format(PmDevice("pm", 1 << 20), log_size=96 * 1024)
+        pool.commit_epoch(3)
+        with pytest.raises(PoolError):
+            pool.commit_epoch(3)
+        with pytest.raises(PoolError):
+            pool.commit_epoch(2)
+
+    def test_epoch_survives_crash(self):
+        device = PmDevice("pm", 1 << 20)
+        pool = Pool.format(device, log_size=96 * 1024)
+        pool.commit_epoch(7)
+        device.on_crash()
+        assert Pool.open(device).committed_epoch == 7
+
+    def test_epoch_cell_is_single_word(self):
+        device = PmDevice("pm", 1 << 20)
+        pool = Pool.format(device, log_size=96 * 1024)
+        pool.commit_epoch(0xABCD)
+        assert int.from_bytes(device.read(EPOCH_OFFSET, 8), "little") == 0xABCD
+
+
+class TestRootCells:
+    def test_root_ptr_roundtrip(self):
+        pool = Pool.format(PmDevice("pm", 1 << 20), log_size=96 * 1024)
+        pool.root_ptr = 0x5000
+        assert pool.root_ptr == 0x5000
+
+    def test_alloc_root_roundtrip(self):
+        pool = Pool.format(PmDevice("pm", 1 << 20), log_size=96 * 1024)
+        pool.alloc_root = 64
+        assert pool.alloc_root == 64
+
+    def test_contains_data(self):
+        pool = Pool.format(PmDevice("pm", 1 << 20), log_size=96 * 1024)
+        assert pool.contains_data(pool.data_base)
+        assert pool.contains_data(pool.data_end - 1)
+        assert not pool.contains_data(pool.data_end)
+        assert not pool.contains_data(0)

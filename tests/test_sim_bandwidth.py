@@ -1,0 +1,66 @@
+"""Bandwidth meter and fluid-model limiter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.bandwidth import BandwidthLimiter, BandwidthMeter
+from repro.sim.clock import SimClock
+
+
+class TestMeter:
+    def test_counts_bytes(self):
+        meter = BandwidthMeter("m", SimClock())
+        meter.record(100)
+        meter.record(28)
+        assert meter.bytes_moved == 128
+
+    def test_achieved_rate(self):
+        clock = SimClock()
+        meter = BandwidthMeter("m", clock)
+        meter.record(1000)
+        clock.advance(1000)          # 1000 B in 1000 ns = 1 GB/s
+        assert meter.achieved_bps() == pytest.approx(1e9)
+
+    def test_no_time_no_rate(self):
+        meter = BandwidthMeter("m", SimClock())
+        meter.record(100)
+        assert meter.achieved_bps() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthMeter("m", SimClock()).record(-1)
+
+
+class TestLimiter:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            BandwidthLimiter("l", SimClock(), 0)
+
+    def test_unloaded_transfer_has_no_delay(self):
+        limiter = BandwidthLimiter("l", SimClock(), 1e9)
+        assert limiter.submit(64) == 0.0
+
+    def test_backlog_builds_queue_delay(self):
+        limiter = BandwidthLimiter("l", SimClock(), 1e9)  # 1 B/ns
+        limiter.submit(1000)
+        delay = limiter.submit(64)
+        assert delay == pytest.approx(1000.0)   # wait for 1000 B backlog
+
+    def test_backlog_drains_with_time(self):
+        clock = SimClock()
+        limiter = BandwidthLimiter("l", clock, 1e9)
+        limiter.submit(1000)
+        clock.advance(600)
+        assert limiter.backlog_bytes == pytest.approx(400.0)
+        clock.advance(10_000)
+        assert limiter.backlog_bytes == 0.0
+
+    def test_service_time(self):
+        limiter = BandwidthLimiter("l", SimClock(), 2e9)
+        assert limiter.service_time_ns(128) == pytest.approx(64.0)
+
+    def test_stall_statistics(self):
+        limiter = BandwidthLimiter("l", SimClock(), 1e9)
+        limiter.submit(100)
+        limiter.submit(100)
+        assert limiter.stats.get("stalled_transfers") == 1

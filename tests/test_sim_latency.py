@@ -1,0 +1,60 @@
+"""Latency model validation and the paper's constants."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.latency import (
+    Bandwidth,
+    CacheLatency,
+    LatencyModel,
+    default_model,
+)
+
+
+class TestDefaults:
+    def test_default_model_validates(self):
+        model = default_model()
+        assert model.media.pm_read_ns == 305.0       # FAST '20
+        assert model.bandwidth.pm_write_bps == 14e9  # paper §5.1
+        assert model.bandwidth.cxl_bps == 63e9       # paper §5.1
+
+    def test_cache_levels_ordered(self):
+        model = default_model()
+        assert model.cache.l1_ns < model.cache.l2_ns < model.cache.llc_ns
+
+    def test_page_fault_cost_exceeds_one_microsecond(self):
+        # Paper §1: "more than 1 us per trap".
+        assert default_model().software.page_fault_ns > 1000
+
+
+class TestValidation:
+    def test_unordered_cache_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheLatency(l1_ns=10, l2_ns=5, llc_ns=20).validate()
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            Bandwidth(dram_bps=0).validate()
+
+    def test_negative_media_rejected(self):
+        model = LatencyModel()
+        model.media.pm_read_ns = -1
+        with pytest.raises(ConfigError):
+            model.validate()
+
+
+class TestLinkLookup:
+    def test_round_trip_doubles_one_way(self):
+        model = default_model()
+        assert model.device_round_trip_ns("cxl") == 2 * model.link.cxl_ns
+
+    def test_smp_is_free(self):
+        assert default_model().device_round_trip_ns("smp") == 0
+
+    def test_enzian_slower_than_cxl(self):
+        model = default_model()
+        assert model.link.enzian_ns > model.link.cxl_ns
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ConfigError):
+            default_model().link_one_way_ns("infiniband")

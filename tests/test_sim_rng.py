@@ -1,0 +1,87 @@
+"""Deterministic RNG and the zipfian/uniform generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng, UniformGenerator, ZipfianGenerator
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+               [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != \
+               [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = DeterministicRng(42)
+        child_a = parent.fork("thread-0")
+        child_b = DeterministicRng(42).fork("thread-0")
+        assert [child_a.randint(0, 100) for _ in range(10)] == \
+               [child_b.randint(0, 100) for _ in range(10)]
+
+    def test_bytes(self):
+        rng = DeterministicRng(1)
+        assert len(rng.bytes(16)) == 16
+        assert rng.bytes(0) == b""
+
+
+class TestZipfian:
+    def test_domain_respected(self):
+        gen = ZipfianGenerator(100, rng=DeterministicRng(3))
+        values = [gen.next() for _ in range(2000)]
+        assert all(0 <= v < 100 for v in values)
+
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianGenerator(1000, theta=0.99, scrambled=False,
+                               rng=DeterministicRng(5))
+        counts = Counter(gen.next() for _ in range(20000))
+        top = sum(count for _v, count in counts.most_common(10))
+        # Zipf(0.99): the 10 hottest of 1000 keys draw a large share.
+        assert top / 20000 > 0.3
+
+    def test_unscrambled_rank_zero_hottest(self):
+        gen = ZipfianGenerator(1000, scrambled=False,
+                               rng=DeterministicRng(5))
+        counts = Counter(gen.next() for _ in range(20000))
+        assert counts.most_common(1)[0][0] == 0
+
+    def test_scramble_spreads_hot_keys(self):
+        gen = ZipfianGenerator(1000, scrambled=True,
+                               rng=DeterministicRng(5))
+        counts = Counter(gen.next() for _ in range(20000))
+        hottest = counts.most_common(1)[0][0]
+        assert hottest != 0   # scrambled away from rank order
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(0)
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_large_domain_constructs(self):
+        gen = ZipfianGenerator(10_000_000, rng=DeterministicRng(1))
+        assert 0 <= gen.next() < 10_000_000
+
+
+class TestUniform:
+    def test_domain(self):
+        gen = UniformGenerator(50, DeterministicRng(1))
+        assert all(0 <= gen.next() < 50 for _ in range(500))
+
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(10, DeterministicRng(2))
+        counts = Counter(gen.next() for _ in range(10000))
+        assert min(counts.values()) > 700   # each bin ~1000
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigError):
+            UniformGenerator(0)

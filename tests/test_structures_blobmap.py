@@ -1,0 +1,138 @@
+"""The blob map: variable-size values, out-of-line storage, crashes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.libpax.allocator import PmAllocator
+from repro.mem.accessor import OffsetAccessor, RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+from repro.structures.blobmap import BlobMap
+from tests.conftest import make_pax_pool
+
+ARENA = 2 << 20
+
+
+def fresh():
+    space = AddressSpace()
+    space.map_device(4096, MemoryDevice("m", ARENA))
+    mem = OffsetAccessor(RawAccessor(space), 4096)
+    return mem, PmAllocator.create(mem, ARENA)
+
+
+class TestBasics:
+    def test_put_get_bytes(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        table.put(1, b"hello world")
+        assert table.get(1) == b"hello world"
+        assert table.get(2) is None
+
+    def test_value_sizes(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        for size in (0, 1, 8, 100, 1024, 4096):
+            table.put(size, bytes([size % 256]) * size)
+        for size in (0, 1, 8, 100, 1024, 4096):
+            assert table.get(size) == bytes([size % 256]) * size
+
+    def test_update_replaces_value(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        assert table.put(1, b"short")
+        assert not table.put(1, b"a much longer replacement value")
+        assert table.get(1) == b"a much longer replacement value"
+        assert len(table) == 1
+
+    def test_update_frees_old_blob(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        table.put(1, b"x" * 64)
+        frees_before = alloc.stats.get("frees")
+        table.put(1, b"y" * 64)
+        assert alloc.stats.get("frees") == frees_before + 1
+        # The freed 64 B class block is reused by the next same-size blob.
+        table.put(2, b"z" * 64)
+        assert table.get(1) == b"y" * 64
+        assert table.get(2) == b"z" * 64
+
+    def test_remove(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        table.put(1, b"bye")
+        assert table.remove(1)
+        assert not table.remove(1)
+        assert table.get(1) is None
+
+    def test_grow_preserves_blobs(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=4)
+        pairs = {key: ("value-%d" % key).encode() * 3 for key in range(60)}
+        for key, value in pairs.items():
+            table.put(key, value)
+        assert table.to_dict() == pairs
+
+    def test_attach(self):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=16)
+        table.put(3, b"persist")
+        attached = BlobMap.attach(mem, alloc, table.root)
+        assert attached.get(3) == b"persist"
+
+    def test_attach_garbage_rejected(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            BlobMap.attach(mem, alloc, 4096)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(
+        st.sampled_from(["put", "remove", "get"]),
+        st.integers(0, 20),
+        st.binary(max_size=200)), max_size=60))
+    def test_matches_python_dict(self, ops):
+        mem, alloc = fresh()
+        table = BlobMap.create(mem, alloc, capacity=4)
+        model = {}
+        for kind, key, value in ops:
+            if kind == "put":
+                table.put(key, value)
+                model[key] = value
+            elif kind == "remove":
+                assert table.remove(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert table.get(key) == model.get(key)
+        assert table.to_dict() == model
+
+
+class TestBlobMapOnPax:
+    def test_snapshot_rollback_with_large_values(self, pax_pool):
+        table = pax_pool.persistent(BlobMap, capacity=64)
+        for key in range(10):
+            table.put(key, bytes([key]) * 500)
+        pax_pool.persist()
+        snapshot = dict(table.to_dict())
+        table.put(5, b"\xff" * 500)       # overwrite, not persisted
+        table.put(99, b"new" * 100)
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(BlobMap)
+        assert recovered.to_dict() == snapshot
+
+    def test_update_never_splices(self, pax_pool):
+        # Crash mid-update: the value is the old blob or the new blob,
+        # never a mixture — even mid-epoch (after recovery, it is the
+        # persisted old one).
+        from repro.crashtest import CrashInjector
+        table = pax_pool.persistent(BlobMap, capacity=64)
+        table.put(1, b"A" * 300)
+        pax_pool.persist()
+        injector = CrashInjector(pax_pool.machine)
+        injector.arm(3)
+        crashed = injector.run(lambda: table.put(1, b"B" * 300))
+        assert crashed
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(BlobMap)
+        assert recovered.get(1) == b"A" * 300

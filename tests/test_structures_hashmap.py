@@ -1,0 +1,162 @@
+"""The hash map, tested over a plain accessor (no simulation overhead)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.libpax.allocator import PmAllocator
+from repro.mem.accessor import OffsetAccessor, RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+from repro.structures.hashmap import HashMap
+
+ARENA = 1 << 20
+
+
+def fresh():
+    space = AddressSpace()
+    space.map_device(4096, MemoryDevice("m", ARENA))
+    mem = OffsetAccessor(RawAccessor(space), 4096)
+    alloc = PmAllocator.create(mem, ARENA)
+    return mem, alloc
+
+
+class TestBasics:
+    def test_put_get(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        assert table.put(1, 100)
+        assert table.get(1) == 100
+        assert table.get(2) is None
+        assert table.get(2, default=-1) == -1
+
+    def test_update_in_place(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(1, 100)
+        assert not table.put(1, 200)      # update, not insert
+        assert table.get(1) == 200
+        assert len(table) == 1
+
+    def test_remove(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(1, 100)
+        assert table.remove(1)
+        assert not table.remove(1)
+        assert table.get(1) is None
+        assert len(table) == 0
+
+    def test_remove_middle_of_chain(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=1)   # everything chains
+        for key in range(5):
+            table.put(key, key * 10)
+        assert table.remove(2)
+        assert table.to_dict() == {0: 0, 1: 10, 3: 30, 4: 40}
+
+    def test_contains(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(7, 1)
+        assert 7 in table
+        assert 8 not in table
+
+    def test_zero_key_and_value(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(0, 0)
+        assert table.get(0) == 0
+        assert 0 in table
+
+    def test_u64_extremes(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(2**64 - 1, 2**64 - 1)
+        assert table.get(2**64 - 1) == 2**64 - 1
+
+    def test_capacity_must_be_power_of_two(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            HashMap.create(mem, alloc, capacity=100)
+
+    def test_attach(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=16)
+        table.put(3, 33)
+        attached = HashMap.attach(mem, alloc, table.root)
+        assert attached.get(3) == 33
+
+    def test_attach_garbage_rejected(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            HashMap.attach(mem, alloc, 4096)
+
+
+class TestResize:
+    def test_grow_preserves_contents(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=4)
+        pairs = {key: key * 3 for key in range(200)}
+        for key, value in pairs.items():
+            table.put(key, value)
+        assert table.capacity > 4
+        assert table.to_dict() == pairs
+
+    def test_grow_triggered_by_load_factor(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=4)
+        for key in range(8):
+            table.put(key, key)
+        assert table.capacity == 4          # exactly at load 2: no grow
+        table.put(8, 8)
+        assert table.capacity == 8
+
+    def test_operations_after_grow(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=2)
+        for key in range(100):
+            table.put(key, key)
+        assert table.remove(50)
+        table.put(50, 999)
+        assert table.get(50) == 999
+
+
+class TestIteration:
+    def test_items_complete(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=8)
+        pairs = {key * 7: key for key in range(50)}
+        for key, value in pairs.items():
+            table.put(key, value)
+        assert dict(table.items()) == pairs
+        assert set(table.keys()) == set(pairs)
+
+    def test_empty_iteration(self):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=8)
+        assert list(table.items()) == []
+
+
+class TestModelBased:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(
+        st.sampled_from(["put", "remove", "get"]),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=2**64 - 1)), max_size=120))
+    def test_matches_python_dict(self, ops):
+        mem, alloc = fresh()
+        table = HashMap.create(mem, alloc, capacity=4)
+        model = {}
+        for kind, key, value in ops:
+            if kind == "put":
+                assert table.put(key, value) == (key not in model)
+                model[key] = value
+            elif kind == "remove":
+                assert table.remove(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert table.get(key) == model.get(key)
+            assert len(table) == len(model)
+        assert table.to_dict() == model

@@ -1,0 +1,147 @@
+"""The ring buffer: FIFO semantics, wrap-around, crash behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.libpax.allocator import PmAllocator
+from repro.mem.accessor import OffsetAccessor, RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+from repro.structures.ringbuffer import RingBuffer
+from tests.conftest import make_pax_pool
+
+
+def fresh():
+    space = AddressSpace()
+    space.map_device(4096, MemoryDevice("m", 1 << 20))
+    mem = OffsetAccessor(RawAccessor(space), 4096)
+    return mem, PmAllocator.create(mem, 1 << 20)
+
+
+class TestFifo:
+    def test_enqueue_dequeue(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=4)
+        ring.enqueue(1)
+        ring.enqueue(2)
+        assert ring.dequeue() == 1
+        assert ring.dequeue() == 2
+
+    def test_empty_raises(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=4)
+        with pytest.raises(IndexError):
+            ring.dequeue()
+        with pytest.raises(IndexError):
+            ring.peek()
+
+    def test_full_raises(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=2)
+        ring.enqueue(1)
+        ring.enqueue(2)
+        assert ring.is_full()
+        with pytest.raises(IndexError):
+            ring.enqueue(3)
+
+    def test_wrap_around(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=3)
+        for value in range(10):
+            ring.enqueue(value)
+            assert ring.dequeue() == value
+        assert ring.is_empty()
+
+    def test_peek(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=4)
+        ring.enqueue(42)
+        assert ring.peek() == 42
+        assert len(ring) == 1
+
+    def test_iteration_order(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=8)
+        # Wrap a few times, then fill partially.
+        for value in range(6):
+            ring.enqueue(value)
+        for _ in range(4):
+            ring.dequeue()
+        for value in range(100, 105):
+            ring.enqueue(value)
+        assert ring.to_list() == [4, 5, 100, 101, 102, 103, 104]
+
+    def test_attach(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=4)
+        ring.enqueue(5)
+        attached = RingBuffer.attach(mem, alloc, ring.root)
+        assert attached.dequeue() == 5
+
+    def test_attach_garbage_rejected(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            RingBuffer.attach(mem, alloc, 4096)
+
+    def test_zero_capacity_rejected(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            RingBuffer.create(mem, alloc, capacity=0)
+
+    def test_invariant_checker(self):
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=4)
+        ring.enqueue(1)
+        assert ring.check_invariants()
+        ring._hdr.set("head", 5)      # corrupt
+        with pytest.raises(ReproError):
+            ring.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["enq", "deq"]),
+                              st.integers(0, 2**64 - 1)), max_size=100))
+    def test_matches_python_deque(self, ops):
+        from collections import deque
+        mem, alloc = fresh()
+        ring = RingBuffer.create(mem, alloc, capacity=8)
+        model = deque()
+        for kind, value in ops:
+            if kind == "enq" and len(model) < 8:
+                ring.enqueue(value)
+                model.append(value)
+            elif kind == "deq" and model:
+                assert ring.dequeue() == model.popleft()
+        assert ring.to_list() == list(model)
+
+
+class TestRingOnPax:
+    def test_snapshot_and_rollback(self, pax_pool):
+        ring = pax_pool.persistent(RingBuffer, capacity=16)
+        for value in range(5):
+            ring.enqueue(value)
+        pax_pool.persist()
+        ring.enqueue(99)
+        ring.dequeue()
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(RingBuffer)
+        recovered.check_invariants()
+        assert recovered.to_list() == [0, 1, 2, 3, 4]
+
+    def test_producer_consumer_epochs(self, pax_pool):
+        ring = pax_pool.persistent(RingBuffer, capacity=8)
+        consumed = []
+        for batch in range(5):
+            for value in range(batch * 3, batch * 3 + 3):
+                ring.enqueue(value)
+            while len(ring) > 2:
+                consumed.append(ring.dequeue())
+            pax_pool.persist()
+        pax_pool.crash()
+        pax_pool.restart()
+        recovered = pax_pool.reattach_root(RingBuffer)
+        recovered.check_invariants()
+        # Everything consumed + everything still queued = everything
+        # produced, exactly once.
+        assert sorted(consumed + recovered.to_list()) == list(range(15))

@@ -1,0 +1,177 @@
+"""Vector and linked list over a plain accessor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.libpax.allocator import PmAllocator
+from repro.mem.accessor import OffsetAccessor, RawAccessor
+from repro.mem.address_space import AddressSpace
+from repro.mem.physical import MemoryDevice
+from repro.structures.linkedlist import PersistentList
+from repro.structures.vector import PersistentVector
+
+ARENA = 1 << 20
+
+
+def fresh():
+    space = AddressSpace()
+    space.map_device(4096, MemoryDevice("m", ARENA))
+    mem = OffsetAccessor(RawAccessor(space), 4096)
+    return mem, PmAllocator.create(mem, ARENA)
+
+
+class TestVector:
+    def test_append_get(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=2)
+        vector.append(10)
+        vector.append(20)
+        assert vector[0] == 10
+        assert vector[1] == 20
+        assert len(vector) == 2
+
+    def test_growth(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=2)
+        for value in range(100):
+            vector.append(value)
+        assert vector.to_list() == list(range(100))
+
+    def test_setitem(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=4)
+        vector.append(1)
+        vector[0] = 42
+        assert vector[0] == 42
+
+    def test_bounds_checked(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=4)
+        vector.append(1)
+        with pytest.raises(IndexError):
+            vector[1]
+        with pytest.raises(IndexError):
+            vector[-1]
+
+    def test_pop(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=4)
+        vector.append(5)
+        assert vector.pop() == 5
+        with pytest.raises(IndexError):
+            vector.pop()
+
+    def test_attach(self):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=4)
+        vector.append(9)
+        attached = PersistentVector.attach(mem, alloc, vector.root)
+        assert attached.to_list() == [9]
+
+    def test_attach_garbage_rejected(self):
+        mem, alloc = fresh()
+        with pytest.raises(ReproError):
+            PersistentVector.attach(mem, alloc, 4096)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("append"), st.integers(0, 2**64 - 1)),
+        st.tuples(st.just("pop"), st.just(0))), max_size=80))
+    def test_matches_python_list(self, ops):
+        mem, alloc = fresh()
+        vector = PersistentVector.create(mem, alloc, capacity=1)
+        model = []
+        for kind, value in ops:
+            if kind == "append":
+                vector.append(value)
+                model.append(value)
+            elif model:
+                assert vector.pop() == model.pop()
+        assert vector.to_list() == model
+
+
+class TestLinkedList:
+    def test_push_pop_both_ends(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        linked.push_back(2)
+        linked.push_front(1)
+        linked.push_back(3)
+        assert linked.to_list() == [1, 2, 3]
+        assert linked.pop_front() == 1
+        assert linked.pop_back() == 3
+        assert linked.to_list() == [2]
+
+    def test_empty_pops_raise(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        with pytest.raises(IndexError):
+            linked.pop_front()
+        with pytest.raises(IndexError):
+            linked.pop_back()
+
+    def test_single_element_edge(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        linked.push_front(1)
+        assert linked.pop_back() == 1
+        assert len(linked) == 0
+        linked.push_back(2)
+        assert linked.pop_front() == 2
+
+    def test_check_links_valid(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        for value in range(20):
+            linked.push_back(value)
+        assert linked.check_links() == 20
+
+    def test_check_links_detects_corruption(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        linked.push_back(1)
+        linked.push_back(2)
+        # Corrupt the count.
+        linked._hdr.set("count", 5)
+        with pytest.raises(ReproError):
+            linked.check_links()
+
+    def test_attach(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        linked.push_back(4)
+        attached = PersistentList.attach(mem, alloc, linked.root)
+        assert attached.to_list() == [4]
+
+    def test_node_reuse_after_pop(self):
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        linked.push_back(1)
+        bump_before = alloc.bump
+        linked.pop_back()
+        linked.push_back(2)
+        assert alloc.bump == bump_before     # freed node reused
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["push_front", "push_back", "pop_front", "pop_back"]),
+        st.integers(0, 1000)), max_size=80))
+    def test_matches_python_deque(self, ops):
+        from collections import deque
+        mem, alloc = fresh()
+        linked = PersistentList.create(mem, alloc)
+        model = deque()
+        for kind, value in ops:
+            if kind == "push_front":
+                linked.push_front(value)
+                model.appendleft(value)
+            elif kind == "push_back":
+                linked.push_back(value)
+                model.append(value)
+            elif kind == "pop_front" and model:
+                assert linked.pop_front() == model.popleft()
+            elif kind == "pop_back" and model:
+                assert linked.pop_back() == model.pop()
+        assert linked.to_list() == list(model)
+        linked.check_links()

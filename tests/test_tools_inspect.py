@@ -1,0 +1,86 @@
+"""The pool inspector: offline, read-only, crash-aware."""
+
+import pytest
+
+from repro.errors import PoolError
+from repro.structures import HashMap
+from repro.tools.inspect import format_report, inspect_pool, main
+from tests.conftest import make_pax_pool
+
+
+def make_pool_file(tmp_path, crashed=False):
+    path = str(tmp_path / "t.pool")
+    pool = make_pax_pool(path=path)
+    table = pool.persistent(HashMap, capacity=64)
+    for key in range(20):
+        table.put(key, key)
+    pool.persist()
+    if crashed:
+        for key in range(20, 30):
+            table.put(key, key)
+        # Drain records to PM, then crash: durable records, no commit.
+        pool.machine.device.undo.pump()
+        pool.crash()
+    pool.machine.pool.sync()
+    return path
+
+
+class TestInspect:
+    def test_clean_pool(self, tmp_path):
+        info = inspect_pool(make_pool_file(tmp_path))
+        assert not info["needs_recovery"]
+        assert info["committed_epoch"] >= 2
+        assert info["root_kind"] == "single structure"
+        assert info["root_ptr"] > 0
+        assert info["allocator"]["heap_used_bytes"] > 0
+        assert 0 < info["allocator"]["utilization"] < 1
+
+    def test_crashed_pool_flags_recovery(self, tmp_path):
+        info = inspect_pool(make_pool_file(tmp_path, crashed=True))
+        assert info["needs_recovery"]
+        live = {epoch: count
+                for epoch, count in info["log_entries_by_epoch"].items()
+                if epoch > info["committed_epoch"]}
+        assert live and sum(live.values()) > 0
+
+    def test_report_format(self, tmp_path):
+        report = format_report(inspect_pool(make_pool_file(tmp_path,
+                                                           crashed=True)))
+        assert "recovery pending" in report
+        assert "LIVE" in report
+        assert "allocator" in report
+
+    def test_inspection_is_read_only(self, tmp_path):
+        path = make_pool_file(tmp_path)
+        before = open(path, "rb").read()
+        inspect_pool(path)
+        assert open(path, "rb").read() == before
+
+    def test_recovered_pool_reads_clean(self, tmp_path):
+        path = make_pool_file(tmp_path, crashed=True)
+        assert inspect_pool(path)["needs_recovery"]
+        # Reopen through libpax (recovery runs), sync, re-inspect.
+        pool = make_pax_pool(path=path)
+        pool.machine.pool.sync()
+        assert not inspect_pool(path)["needs_recovery"]
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.pool")
+        with open(path, "wb") as handle:
+            handle.write(b"\xff" * 64 * 1024)
+        with pytest.raises(PoolError):
+            inspect_pool(path)
+
+
+class TestCli:
+    def test_main_ok(self, tmp_path, capsys):
+        path = make_pool_file(tmp_path)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "committed epoch" in out
+
+    def test_main_usage(self, capsys):
+        assert main([]) == 2
+
+    def test_main_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.pool")]) == 1

@@ -1,0 +1,113 @@
+"""Alignment and range-splitting arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitops import (
+    align_down,
+    align_up,
+    is_aligned,
+    line_base,
+    line_offset,
+    lines_covering,
+    page_base,
+    pages_covering,
+    split_lines,
+    split_pages,
+)
+from repro.util.constants import CACHE_LINE_SIZE, PAGE_SIZE
+
+
+class TestAlignment:
+    def test_align_down_basic(self):
+        assert align_down(100, 64) == 64
+        assert align_down(64, 64) == 64
+        assert align_down(63, 64) == 0
+
+    def test_align_up_basic(self):
+        assert align_up(100, 64) == 128
+        assert align_up(64, 64) == 64
+        assert align_up(1, 64) == 64
+        assert align_up(0, 64) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(128, 64)
+        assert not is_aligned(129, 64)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(10, 48)
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            is_aligned(10, 0)
+
+    @given(st.integers(min_value=0, max_value=1 << 48),
+           st.sampled_from([1, 2, 8, 64, 4096]))
+    def test_align_roundtrip_properties(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert is_aligned(down, alignment)
+        assert is_aligned(up, alignment)
+        assert up - down in (0, alignment)
+
+
+class TestLineMath:
+    def test_line_base_and_offset(self):
+        assert line_base(0) == 0
+        assert line_base(63) == 0
+        assert line_base(64) == 64
+        assert line_offset(100) == 36
+
+    def test_page_base(self):
+        assert page_base(4095) == 0
+        assert page_base(4096) == 4096
+
+
+class TestSplitting:
+    def test_split_within_one_line(self):
+        assert list(split_lines(10, 8)) == [(0, 10, 8)]
+
+    def test_split_across_lines(self):
+        assert list(split_lines(60, 8)) == [(0, 60, 4), (64, 0, 4)]
+
+    def test_split_exact_lines(self):
+        chunks = list(split_lines(64, 128))
+        assert chunks == [(64, 0, 64), (128, 0, 64)]
+
+    def test_split_zero_size(self):
+        assert list(split_lines(100, 0)) == []
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(split_lines(0, -1))
+
+    def test_lines_covering(self):
+        assert lines_covering(60, 8) == [0, 64]
+        assert lines_covering(0, 64) == [0]
+
+    def test_pages_covering(self):
+        assert pages_covering(4090, 10) == [0, 4096]
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=0, max_value=10000))
+    def test_split_lines_covers_exactly(self, addr, size):
+        total = 0
+        cursor = addr
+        for base, offset, length in split_lines(addr, size):
+            assert base % CACHE_LINE_SIZE == 0
+            assert 0 <= offset < CACHE_LINE_SIZE
+            assert base + offset == cursor
+            assert 0 < length <= CACHE_LINE_SIZE - offset
+            cursor += length
+            total += length
+        assert total == size
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=0, max_value=100000))
+    def test_split_pages_covers_exactly(self, addr, size):
+        total = sum(length for _b, _o, length in split_pages(addr, size))
+        assert total == size
+        for base, offset, _length in split_pages(addr, size):
+            assert base % PAGE_SIZE == 0

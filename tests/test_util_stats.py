@@ -1,0 +1,94 @@
+"""Counters, histograms, and stat groups."""
+
+import pytest
+
+from repro.util.stats import Counter, Histogram, StatGroup, ratio
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        hist = Histogram("lat")
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_stddev(self):
+        hist = Histogram("lat")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            hist.record(value)
+        assert hist.stddev == pytest.approx(2.0)
+
+    def test_percentile(self):
+        hist = Histogram("lat")
+        for value in range(1, 101):
+            hist.record(float(value))
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("lat")
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_reservoir_bounded(self):
+        hist = Histogram("lat")
+        for value in range(10000):
+            hist.record(float(value))
+        assert len(hist._reservoir) <= Histogram.RESERVOIR_SIZE
+        assert hist.count == 10000
+
+
+class TestStatGroup:
+    def test_counter_creation_and_get(self):
+        group = StatGroup("owner")
+        group.counter("hits").add(2)
+        assert group.get("hits") == 2
+        assert group.get("absent") == 0
+
+    def test_counters_dict(self):
+        group = StatGroup("owner")
+        group.counter("a").add(1)
+        group.counter("b").add(2)
+        assert group.counters() == {"a": 1, "b": 2}
+
+    def test_reset_all(self):
+        group = StatGroup("owner")
+        group.counter("a").add(1)
+        group.histogram("h").record(5)
+        group.reset()
+        assert group.get("a") == 0
+        assert group.histogram("h").count == 0
+
+    def test_snapshot_includes_histograms(self):
+        group = StatGroup("owner")
+        group.histogram("h").record(4)
+        snap = group.snapshot()
+        assert snap["h.count"] == 1
+        assert snap["h.mean"] == 4
+
+
+def test_ratio():
+    assert ratio(1, 2) == 0.5
+    assert ratio(1, 0) == 0.0

@@ -1,0 +1,177 @@
+"""Workload generators: key sequences, traces, YCSB mixes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.keys import KeySequence, KeySpace
+from repro.workloads.trace import (
+    Op,
+    apply_trace,
+    expected_state,
+    interleave_persists,
+)
+from repro.workloads.ycsb import MIXES, YcsbWorkload
+
+
+class TestKeySpace:
+    def test_keys_distinct(self):
+        space = KeySpace(1000)
+        keys = space.all_keys()
+        assert len(set(keys)) == 1000
+
+    def test_scramble_separates_neighbours(self):
+        space = KeySpace(10)
+        assert abs(space.key(1) - space.key(0)) > 1000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            KeySpace(0)
+
+
+class TestKeySequence:
+    def test_sequential_cycles(self):
+        seq = KeySequence(3, "sequential")
+        space = KeySpace(3)
+        assert seq.take(6) == [space.key(0), space.key(1), space.key(2)] * 2
+
+    def test_uniform_stays_in_space(self):
+        seq = KeySequence(100, "uniform", seed=1)
+        valid = set(KeySpace(100).all_keys())
+        assert all(key in valid for key in seq.take(500))
+
+    def test_zipfian_skews(self):
+        from collections import Counter
+        seq = KeySequence(1000, "zipfian", seed=2)
+        counts = Counter(seq.take(5000))
+        assert counts.most_common(1)[0][1] > 5000 / 1000 * 5
+
+    def test_deterministic(self):
+        assert KeySequence(50, "uniform", seed=9).take(20) == \
+            KeySequence(50, "uniform", seed=9).take(20)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            KeySequence(10, "pareto")
+
+
+class TestTrace:
+    def test_op_validation(self):
+        with pytest.raises(ConfigError):
+            Op("scan", 1)
+
+    def test_expected_state(self):
+        trace = [Op("put", 1, 10), Op("put", 2, 20), Op("remove", 1),
+                 Op("get", 2), Op("persist")]
+        assert expected_state(trace) == {2: 20}
+
+    def test_interleave_persists(self):
+        trace = [Op("put", key, key) for key in range(5)]
+        out = interleave_persists(trace, group_size=2)
+        kinds = [op.kind for op in out]
+        assert kinds == ["put", "put", "persist", "put", "put", "persist",
+                         "put", "persist"]
+
+    def test_interleave_ignores_reads(self):
+        trace = [Op("get", 1), Op("get", 2), Op("put", 1, 1)]
+        out = interleave_persists(trace, group_size=1)
+        assert [op.kind for op in out] == ["get", "get", "put", "persist"]
+
+    def test_interleave_bad_group(self):
+        with pytest.raises(ConfigError):
+            interleave_persists([], 0)
+
+    def test_apply_trace(self):
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def put(self, key, value):
+                self.calls.append(("put", key))
+
+            def get(self, key):
+                self.calls.append(("get", key))
+
+            def remove(self, key):
+                self.calls.append(("remove", key))
+
+            def persist(self):
+                self.calls.append(("persist", None))
+
+        recorder = Recorder()
+        count = apply_trace(recorder, [Op("put", 1, 1), Op("get", 1),
+                                       Op("remove", 1), Op("persist")])
+        assert count == 4
+        assert [c[0] for c in recorder.calls] == ["put", "get", "remove",
+                                                  "persist"]
+
+
+class TestTraceFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.workloads.trace import load_trace, save_trace
+        trace = [Op("put", 1, 10), Op("get", 1), Op("remove", 1),
+                 Op("persist")]
+        path = str(tmp_path / "t.jsonl")
+        assert save_trace(trace, path) == 4
+        assert load_trace(path) == trace
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        from repro.workloads.trace import load_trace
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind": "put", "key": 1, "value": 2}\n\n')
+        assert load_trace(path) == [Op("put", 1, 2)]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        from repro.workloads.trace import load_trace
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_saved_trace_replays_identically(self, tmp_path):
+        from repro.workloads.trace import load_trace, save_trace
+        workload = YcsbWorkload(mix="A", record_count=30, op_count=60,
+                                seed=4)
+        trace = workload.run_trace()
+        path = str(tmp_path / "ycsb.jsonl")
+        save_trace(trace, path)
+        assert expected_state(load_trace(path)) == expected_state(trace)
+
+
+class TestYcsb:
+    def test_all_mixes_generate(self):
+        for mix in MIXES:
+            workload = YcsbWorkload(mix=mix, record_count=50, op_count=100,
+                                    seed=3)
+            load = workload.load_trace()
+            run = workload.run_trace()
+            assert len(load) == 50
+            assert len(run) >= 100
+
+    def test_mix_c_is_read_only(self):
+        workload = YcsbWorkload(mix="C", record_count=50, op_count=200)
+        assert all(op.kind == "get" for op in workload.run_trace())
+
+    def test_mix_w_is_write_only(self):
+        workload = YcsbWorkload(mix="W", record_count=50, op_count=200)
+        assert all(op.kind == "put" for op in workload.run_trace())
+
+    def test_mix_a_roughly_half_writes(self):
+        workload = YcsbWorkload(mix="A", record_count=50, op_count=1000)
+        ops = workload.run_trace()
+        writes = sum(1 for op in ops if op.kind == "put")
+        assert 0.35 < writes / len(ops) < 0.65
+
+    def test_fractions_sum_to_one(self):
+        for mix, fractions in MIXES.items():
+            assert sum(fractions) == pytest.approx(1.0), mix
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigError):
+            YcsbWorkload(mix="Z")
+
+    def test_deterministic(self):
+        a = YcsbWorkload(mix="A", record_count=20, op_count=50, seed=7)
+        b = YcsbWorkload(mix="A", record_count=20, op_count=50, seed=7)
+        assert a.run_trace() == b.run_trace()
