@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest clean
+.PHONY: install test bench examples quicktest fuzz fuzz-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,15 @@ quicktest:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Crash-consistency fuzzing (crash point x fault plan x structure); see
+# docs/faults.md. `fuzz` is the full seeded sweep, `fuzz-smoke` a fast
+# fixed-seed subset suitable for CI.
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 500 --seed 1234
+
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 50 --seed 7 --progress 0
 
 examples:
 	@for script in examples/*.py; do \

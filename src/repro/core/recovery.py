@@ -1,4 +1,4 @@
-"""Crash recovery (paper §3.4).
+"""Crash recovery (paper §3.4), hardened against imperfect durability.
 
 After a crash, the pool's durable bytes are: the PM data region (possibly
 containing partially-applied epoch N+1 writes), the durable prefix of the
@@ -8,31 +8,67 @@ restores the data region to exactly the epoch-N snapshot. Records that
 never became durable correspond to modifications that never reached PM
 (the write-back gate guarantees it), so nothing is missed.
 
+The paper assumes the commit write and the log itself are perfectly
+reliable; this module does not:
+
+* **Torn epoch commit** — the commit write lands in one of two CRC-
+  protected slots (:mod:`repro.pm.pool`); a tear invalidates at most the
+  slot being written, and recovery proceeds from the surviving slot, the
+  previous committed epoch.
+* **Torn log tail** — the entry whose append was cut by the crash fails
+  its CRC. That entry was never durable, so (by the write-back gate) its
+  target line never reached PM: recovery rolls back the valid prefix and
+  reports the tear (``log_entries_torn``).
+* **Mid-log corruption** — an entry that *was* durable (valid entries
+  from the same uncommitted epoch follow it) fails its CRC. Its
+  pre-image is gone and no consistent rollback exists, so recovery
+  raises :class:`RecoveryError` carrying the partial
+  :class:`RecoveryReport` rather than silently missing a line.
+* **Epoch record destroyed** — both slots invalid: also a typed
+  :class:`RecoveryError`.
+
 Recovery is performed by ``libpax`` on ``map_pool`` — the application
 cannot tell a recovered pool from a cleanly closed one.
 """
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
-from repro.errors import RecoveryError
-from repro.pm.log import UndoLogRegion
+from repro.errors import PoolError, RecoveryError
+from repro.pm.log import TAIL_CORRUPT, TAIL_DISORDER, UndoLogRegion
 from repro.util.constants import CACHE_LINE_SIZE
 
 
 @dataclass
 class RecoveryReport:
-    """What recovery did, for logging and tests."""
+    """What recovery did (or had done when it failed), for logging/tests."""
 
     committed_epoch: int
     records_scanned: int = 0
     records_rolled_back: int = 0
     lines_restored: List[int] = field(default_factory=list)
+    #: Per-entry log validation verdicts (mirrors the region's counters).
+    log_entries_valid: int = 0
+    log_entries_torn: int = 0
+    log_entries_corrupt: int = 0
+    #: Region offset where the log scan stopped, and why ("clean",
+    #: "torn", "corrupt", "disorder").
+    log_tail: str = "clean"
+    log_tail_offset: int = 0
+    #: Which epoch slot supplied the committed epoch, and the per-slot
+    #: CRC verdicts. ``(-1, (False, False))`` when the record was gone.
+    epoch_slot_used: int = 0
+    epoch_slots_valid: Tuple[bool, ...] = (True, True)
 
     @property
     def was_dirty(self):
         """True if the crash interrupted an uncommitted epoch."""
         return self.records_rolled_back > 0
+
+    @property
+    def survived_faults(self):
+        """True if recovery tolerated a torn tail or a torn epoch slot."""
+        return self.log_entries_torn > 0 or not all(self.epoch_slots_valid)
 
 
 def recover_pool(pool):
@@ -41,19 +77,41 @@ def recover_pool(pool):
     Returns a :class:`RecoveryReport`. Idempotent: running it twice (e.g.
     a crash during recovery, which only re-writes old values) is safe
     because undo records are only discarded after the rollback completes.
+
+    Raises :class:`RecoveryError` (with the partial report attached) when
+    the durable bytes admit no consistent snapshot: mid-log corruption,
+    live records out of epoch order, a record targeting bytes outside the
+    data region, or a destroyed epoch record.
     """
-    committed = pool.committed_epoch
+    try:
+        committed, slot_used, slots_valid = pool.epoch_record()
+    except PoolError as exc:
+        report = RecoveryReport(committed_epoch=-1, epoch_slot_used=-1,
+                                epoch_slots_valid=(False, False))
+        raise RecoveryError(str(exc), report=report)
     region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
-    report = RecoveryReport(committed_epoch=committed)
+    report = RecoveryReport(committed_epoch=committed,
+                            epoch_slot_used=slot_used,
+                            epoch_slots_valid=slots_valid)
+    scan = region.scan_report(committed)
+    report.log_entries_valid = len(scan.entries)
+    report.log_entries_torn = region.stats.get("entries_torn")
+    report.log_entries_corrupt = region.stats.get("entries_corrupt")
+    report.log_tail = scan.tail
+    report.log_tail_offset = scan.tail_offset
+    if scan.tail == TAIL_CORRUPT:
+        raise RecoveryError(
+            "undo log corrupt at region offset %d: a durable record's "
+            "pre-image is unreadable, so no consistent rollback exists"
+            % scan.tail_offset, report=report)
+    if scan.tail == TAIL_DISORDER:
+        raise RecoveryError(
+            "undo records out of epoch order at region offset %d; the "
+            "log is append-only per epoch" % scan.tail_offset,
+            report=report)
     to_undo = []
-    previous_epoch = 0
-    for entry in region.scan():
+    for entry in scan.entries:
         report.records_scanned += 1
-        if entry.epoch < previous_epoch:
-            raise RecoveryError(
-                "undo records out of epoch order (%d after %d); the log "
-                "is append-only per epoch" % (entry.epoch, previous_epoch))
-        previous_epoch = entry.epoch
         if entry.epoch <= committed:
             # Stale record from an epoch that committed before the crash
             # (possible because the log region is rewound lazily — only
@@ -64,7 +122,7 @@ def recover_pool(pool):
         if not pool.contains_data(entry.addr, CACHE_LINE_SIZE):
             raise RecoveryError(
                 "undo record targets 0x%x outside the data region"
-                % entry.addr)
+                % entry.addr, report=report)
         to_undo.append(entry)
     # Newest-first rollback: the oldest record for a line holds the
     # epoch-start value and must win.

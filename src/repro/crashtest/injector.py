@@ -55,7 +55,11 @@ class CrashInjector:
             self.machine.crash()
             self.stats.counter("crashes_fired").add(1)
             return True
-        self.disarm()
+        finally:
+            # Unconditional: an unrelated exception from ``operation``
+            # must not leave the hook armed, or the countdown would fire
+            # mid-way through whatever the caller does next.
+            self.disarm()
         self.stats.counter("completed").add(1)
         return False
 

@@ -2,6 +2,7 @@
 
 from repro.cxl.adapter import BusOp, CxlAdapter
 from repro.cxl.link import CxlLink
+from repro.cxl.lossy import LossyLink
 from repro.cxl.messages import (
     CleanEvict,
     DataResponse,
@@ -26,6 +27,7 @@ __all__ = [
     "DirtyEvict",
     "Go",
     "HostSnoopPort",
+    "LossyLink",
     "Message",
     "RdOwn",
     "RdShared",

@@ -1,0 +1,94 @@
+"""A lossy wrapper around :class:`~repro.cxl.link.CxlLink`.
+
+Real coherence interconnects are not lossless channels: CXL runs over a
+physical layer with CRC-protected flits, and a corrupted or dropped flit
+costs the sender a replay. :class:`LossyLink` models that at message
+granularity: each send independently drops with ``drop_rate``; the sender
+detects the loss after ``timeout_ns``, waits an exponentially growing
+backoff (capped), and retransmits, up to ``max_retries`` attempts for one
+message before giving up with :class:`~repro.errors.LinkError`.
+
+Latency accounting: a message that is dropped ``k`` times costs
+
+    k * timeout_ns + sum(min(base * 2^i, cap) for i in range(k))
+
+on top of the normal link latency of the successful attempt, and every
+retransmitted attempt re-charges the underlying link (hop latency and
+bandwidth-queue occupancy — retries consume real wire time).
+
+Stats (visible in the wrapper's StatGroup): ``drops``, ``retries``,
+``delays``, ``backoff_ns``, ``timeout_ns``, ``messages``.
+"""
+
+from repro.errors import LinkError
+from repro.sim.rng import DeterministicRng
+from repro.util.stats import StatGroup
+
+
+class LossyLink:
+    """Drop/delay decorator over a CxlLink; same send interface."""
+
+    def __init__(self, inner, spec, rng=None):
+        self.inner = inner
+        self.spec = spec.validate()
+        self._rng = rng or DeterministicRng(spec.seed)
+        self.stats = StatGroup(inner.name + ".lossy")
+
+    # -- CxlLink interface --------------------------------------------------
+
+    @property
+    def name(self):
+        """The wrapped link's name."""
+        return self.inner.name
+
+    @property
+    def one_way_ns(self):
+        """The wrapped link's base one-way hop latency."""
+        return self.inner.one_way_ns
+
+    def send_h2d(self, message):
+        """Host-to-device hop with loss/retransmit; returns latency_ns."""
+        return self._send(self.inner.send_h2d, message, "h2d")
+
+    def send_d2h(self, message):
+        """Device-to-host hop with loss/retransmit; returns latency_ns."""
+        return self._send(self.inner.send_d2h, message, "d2h")
+
+    def round_trip(self, request, response):
+        """Latency of a request/response pair."""
+        return self.send_h2d(request) + self.send_d2h(response)
+
+    # -- loss machinery ------------------------------------------------------
+
+    def _send(self, sender, message, direction):
+        self.stats.counter("messages").add(1)
+        penalty_ns = 0.0
+        attempt = 0
+        while True:
+            if self._rng.random() >= self.spec.drop_rate:
+                latency = sender(message)
+                if self.spec.delay_rate \
+                        and self._rng.random() < self.spec.delay_rate:
+                    latency += self.spec.delay_ns
+                    self.stats.counter("delays").add(1)
+                if attempt:
+                    self.stats.counter("retries").add(attempt)
+                return penalty_ns + latency
+            attempt += 1
+            self.stats.counter("drops").add(1)
+            if attempt > self.spec.max_retries:
+                raise LinkError(
+                    "%s.%s: message dropped %d consecutive times; "
+                    "retransmit budget exhausted"
+                    % (self.name, direction, attempt))
+            # The dropped attempt still occupied the wire.
+            penalty_ns += sender(message)
+            backoff = min(self.spec.backoff_base_ns * (2 ** (attempt - 1)),
+                          self.spec.backoff_cap_ns)
+            penalty_ns += self.spec.timeout_ns + backoff
+            self.stats.counter("timeout_ns").add(int(self.spec.timeout_ns))
+            self.stats.counter("backoff_ns").add(int(backoff))
+
+    def __repr__(self):
+        return "LossyLink(%s, drop=%.4f, retries<=%d)" % (
+            self.name, self.spec.drop_rate, self.spec.max_retries)

@@ -42,8 +42,22 @@ class CrashedError(ReproError):
     """An operation was attempted on a machine that has simulated a crash."""
 
 
+class LinkError(ReproError):
+    """A link-level transfer failed permanently (retransmit budget spent)."""
+
+
 class RecoveryError(ReproError):
-    """Recovery could not restore a consistent snapshot."""
+    """Recovery could not restore a consistent snapshot.
+
+    Carries the partial :class:`~repro.core.recovery.RecoveryReport` (when
+    one exists) so callers can see how far recovery got — how many records
+    were valid, where the log went bad, which epoch slots survived —
+    before the error was raised.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class ConfigError(ReproError):

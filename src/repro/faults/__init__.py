@@ -1,0 +1,40 @@
+"""Fault injection beyond clean crashes.
+
+The crash injector (:mod:`repro.crashtest.injector`) cuts execution at an
+exact store boundary but leaves every durable byte pristine — the undo
+log, the epoch record, and the CXL link are assumed perfect. This package
+removes those assumptions:
+
+* :class:`FaultyPmDevice` — a PM device that journals recent writes so a
+  crash can *tear* the in-flight one (persist a prefix of the payload)
+  and that exposes media bit-flips.
+* :class:`FaultPlan` / :class:`FaultInjector` — a declarative fault mix
+  (torn writes, bit-flips by region, lossy link) applied at crash time,
+  composing with the existing :class:`~repro.crashtest.CrashInjector`.
+* :class:`~repro.cxl.lossy.LossyLink` (re-exported here) — drop/delay
+  wrapper around :class:`~repro.cxl.link.CxlLink` with bounded
+  retransmit and exponential backoff.
+
+See ``docs/faults.md`` for the fault model and the recovery guarantees
+each fault class gets.
+"""
+
+from repro.cxl.lossy import LossyLink
+from repro.faults.device import FaultyPmDevice
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BIT_FLIP_REGIONS,
+    BitFlipSpec,
+    FaultPlan,
+    LinkFaultSpec,
+)
+
+__all__ = [
+    "BIT_FLIP_REGIONS",
+    "BitFlipSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyPmDevice",
+    "LinkFaultSpec",
+    "LossyLink",
+]

@@ -1,0 +1,116 @@
+"""Applies a :class:`FaultPlan` around an injected crash.
+
+Composes with :class:`~repro.crashtest.CrashInjector`: the crash injector
+picks *when* power fails (an exact store count); the fault injector picks
+*how dirty* the failure is — tearing the PM write in flight and flipping
+bits in durable metadata before recovery runs.
+
+The bit-flip targeting is layout-aware (it reads the pool's log region
+and epoch slots) because the fault model is scoped to bytes the recovery
+path is responsible for: see :mod:`repro.faults.plan`.
+"""
+
+from repro.crashtest.injector import CrashInjector
+from repro.errors import ConfigError
+from repro.faults.device import FaultyPmDevice
+from repro.pm.log import ENTRY_SIZE, UndoLogRegion
+from repro.pm.pool import EPOCH_SLOT_OFFSETS, EPOCH_SLOT_SIZE
+from repro.sim.rng import DeterministicRng
+from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.stats import StatGroup
+
+
+class FaultInjector:
+    """Crash a machine per a fault plan, then dirty its durable bytes."""
+
+    def __init__(self, machine, plan, rng=None):
+        self.machine = machine
+        self.plan = plan.validate()
+        self.rng = rng or DeterministicRng(plan.seed)
+        self.crash_injector = CrashInjector(machine)
+        self.stats = StatGroup("fault_injector")
+        if plan.torn_write and not isinstance(machine.pm, FaultyPmDevice):
+            raise ConfigError(
+                "torn-write faults need the machine built on a "
+                "FaultyPmDevice (its write journal records the in-flight "
+                "write); got %r" % type(machine.pm).__name__)
+
+    # -- crash orchestration -------------------------------------------------
+
+    def arm(self, stores_until_crash):
+        """Crash after ``stores_until_crash`` more CPU stores."""
+        self.crash_injector.arm(stores_until_crash)
+
+    def run(self, operation):
+        """Run ``operation()``; on the armed crash, apply the fault plan.
+
+        Returns True if the crash fired (machine crashed + faults
+        applied), False if the operation completed first.
+        """
+        crashed = self.crash_injector.run(operation)
+        if crashed:
+            self.apply_crash_faults()
+        return crashed
+
+    def crash(self):
+        """Unconditional power failure + fault plan (no arming needed)."""
+        self.machine.crash()
+        self.apply_crash_faults()
+
+    # -- fault application --------------------------------------------------
+
+    def apply_crash_faults(self):
+        """Tear the in-flight write, then flip the planned bits."""
+        if self.plan.torn_write:
+            self._tear_in_flight_write()
+        for spec in self.plan.bitflips:
+            self._apply_bitflip(spec)
+
+    def _tear_in_flight_write(self):
+        device = self.machine.pm
+        last = device.last_write
+        if last is None:
+            self.stats.counter("tears_skipped").add(1)
+            return
+        _offset, _old, new = last
+        keep = self.rng.randint(0, max(0, len(new) - 1))
+        device.tear_last_write(keep)
+        self.stats.counter("tears_applied").add(1)
+
+    def _apply_bitflip(self, spec):
+        device = self.machine.pm
+        if not isinstance(device, FaultyPmDevice):
+            raise ConfigError("bit-flip faults need a FaultyPmDevice")
+        target = self._flip_target(spec)
+        if target is None:
+            self.stats.counter("flips_skipped").add(1)
+            return
+        offset, length = target
+        device.flip_random_bits(offset, length, spec.flips, self.rng)
+        self.stats.counter("flips_applied").add(spec.flips)
+
+    def _flip_target(self, spec):
+        """Pick ``(offset, length)`` device bytes for one spec, or None."""
+        pool = self.machine.pool
+        if spec.region == "epoch":
+            slot = self.rng.choice(EPOCH_SLOT_OFFSETS)
+            return slot, EPOCH_SLOT_SIZE
+        # Both remaining regions key off the durable log contents.
+        region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
+        committed = pool.committed_epoch
+        scan = region.scan_report(committed)
+        if spec.region == "log":
+            # Interior entries only: tail corruption is indistinguishable
+            # from a torn append (see docs/faults.md) and stays out of
+            # the single-fault model.
+            if len(scan.entries) < 2:
+                return None
+            victim = self.rng.choice(scan.entries[:-1])
+            return pool.log_base + victim.offset, ENTRY_SIZE
+        if spec.region == "logged_data":
+            live = [e for e in scan.entries if e.epoch > committed]
+            if not live:
+                return None
+            victim = self.rng.choice(live)
+            return victim.addr, CACHE_LINE_SIZE
+        raise ConfigError("unknown bit-flip region %r" % (spec.region,))

@@ -1,0 +1,150 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` says *what* goes wrong around a crash; the
+:class:`~repro.faults.injector.FaultInjector` makes it happen. Plans are
+plain frozen dataclasses so a fuzz iteration's plan can be printed
+verbatim when it finds a counter-example.
+
+The bit-flip fault model is deliberately scoped to the bytes the
+crash-consistency machinery can do something about (detect, or mask by
+rollback):
+
+``log``
+    A durable undo-log entry that is *not* the tail. Its CRC breaks and
+    valid entries follow, so recovery must detect it and raise.
+``epoch``
+    One of the two epoch-record slots. The CRC breaks and the surviving
+    slot carries the pool.
+``logged_data``
+    A data-region line that has a live undo record. Rollback rewrites
+    the whole line, masking the flip.
+
+Flips in unlogged data lines are undetectable by an undo-log scheme
+(they would need data-region checksums) and are out of scope — see
+``docs/faults.md``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+BIT_FLIP_REGIONS = ("log", "epoch", "logged_data")
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Loss/delay behaviour for a :class:`~repro.cxl.lossy.LossyLink`.
+
+    A dropped message costs the sender ``timeout_ns`` (it must conclude
+    the message is gone) plus an exponential backoff before the
+    retransmit; after ``max_retries`` consecutive drops of one message
+    the link gives up with :class:`~repro.errors.LinkError`.
+    """
+
+    drop_rate: float = 0.01
+    delay_rate: float = 0.0
+    delay_ns: float = 500.0
+    timeout_ns: float = 2_000.0
+    backoff_base_ns: float = 500.0
+    backoff_cap_ns: float = 64_000.0
+    max_retries: int = 8
+    seed: int = 42
+
+    def validate(self):
+        """Raise :class:`ConfigError` on nonsensical parameters."""
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ConfigError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.delay_rate < 1.0:
+            raise ConfigError("delay_rate must be in [0, 1)")
+        if min(self.delay_ns, self.timeout_ns, self.backoff_base_ns,
+               self.backoff_cap_ns) < 0:
+            raise ConfigError("link fault latencies cannot be negative")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be at least 1")
+        return self
+
+
+@dataclass(frozen=True)
+class BitFlipSpec:
+    """``flips`` single-bit media faults in one target region."""
+
+    region: str
+    flips: int = 1
+
+    def validate(self):
+        """Raise :class:`ConfigError` on an unknown region or zero flips."""
+        if self.region not in BIT_FLIP_REGIONS:
+            raise ConfigError("bit-flip region must be one of %r, not %r"
+                              % (BIT_FLIP_REGIONS, self.region))
+        if self.flips < 1:
+            raise ConfigError("a BitFlipSpec must flip at least one bit")
+        return self
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong at (and after) the next crash.
+
+    ``torn_write`` tears the PM write in flight at crash time: only a
+    random prefix of its payload becomes durable. ``bitflips`` are media
+    faults applied between the crash and recovery. ``link`` makes the
+    CXL link lossy for the whole run (not just around the crash).
+    """
+
+    torn_write: bool = False
+    bitflips: Tuple[BitFlipSpec, ...] = field(default_factory=tuple)
+    link: Optional[LinkFaultSpec] = None
+    seed: int = 42
+
+    def validate(self):
+        """Validate every constituent spec; returns self for chaining."""
+        for spec in self.bitflips:
+            spec.validate()
+        if self.link is not None:
+            self.link.validate()
+        return self
+
+    @property
+    def is_benign(self):
+        """True if the plan injects no faults at all (clean-crash mode)."""
+        return (not self.torn_write and not self.bitflips
+                and self.link is None)
+
+    @classmethod
+    def random(cls, rng, allow_link=True):
+        """Draw a random fault mix from ``rng`` (a DeterministicRng).
+
+        Used by the fuzz harness: roughly half the plans tear the
+        in-flight write, each bit-flip region appears independently, and
+        a third of the plans add a lossy link.
+        """
+        bitflips = []
+        roll = rng.random()
+        if roll < 0.20:
+            bitflips.append(BitFlipSpec("log"))
+        elif roll < 0.40:
+            bitflips.append(BitFlipSpec("epoch"))
+        elif roll < 0.60:
+            bitflips.append(BitFlipSpec("logged_data",
+                                        flips=rng.randint(1, 3)))
+        link = None
+        if allow_link and rng.random() < 0.30:
+            link = LinkFaultSpec(drop_rate=0.005 + 0.045 * rng.random(),
+                                 delay_rate=0.05 * rng.random(),
+                                 seed=rng.randint(0, 2**31 - 1))
+        return cls(torn_write=rng.random() < 0.5,
+                   bitflips=tuple(bitflips),
+                   link=link,
+                   seed=rng.randint(0, 2**31 - 1)).validate()
+
+    def describe(self):
+        """One-line human summary (fuzz failure messages)."""
+        parts = []
+        if self.torn_write:
+            parts.append("torn-write")
+        for spec in self.bitflips:
+            parts.append("flip:%s x%d" % (spec.region, spec.flips))
+        if self.link is not None:
+            parts.append("lossy-link(drop=%.3f)" % self.link.drop_rate)
+        return " + ".join(parts) if parts else "clean-crash"

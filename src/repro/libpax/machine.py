@@ -23,6 +23,7 @@ from repro.cache.homes import Home, HostHome
 from repro.core.device import PaxDevice
 from repro.core.recovery import recover_pool
 from repro.cxl.link import CxlLink
+from repro.cxl.lossy import LossyLink
 from repro.cxl.port import DevicePort, HostSnoopPort, MemDevicePort
 from repro.errors import ConfigError, CrashedError
 from repro.mem.accessor import MemoryAccessor
@@ -32,6 +33,7 @@ from repro.pm.device import PmDevice
 from repro.pm.pool import Pool
 from repro.sim.bandwidth import BandwidthLimiter
 from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
 from repro.sim.latency import default_model
 from repro.util.stats import StatGroup
 
@@ -155,7 +157,7 @@ class PaxMachine(_BaseMachine):
                  backing_path=None, link="cxl", pax_config=None,
                  protocol="cxl.cache", latency=None, num_cores=1, clock=None,
                  l1_config=None, l2_config=None, llc_config=None,
-                 pm_device=None):
+                 pm_device=None, link_faults=None):
         super().__init__(latency=latency, num_cores=num_cores, clock=clock,
                          l1_config=l1_config, l2_config=l2_config,
                          llc_config=llc_config)
@@ -163,6 +165,11 @@ class PaxMachine(_BaseMachine):
             raise ConfigError("protocol must be one of %r" % (self.PROTOCOLS,))
         self.protocol = protocol
         self.link_name = link
+        self._link_faults = link_faults.validate() if link_faults else None
+        # One rng for the machine's lifetime: a restart rebuilds the link
+        # wrapper but must not replay the identical drop sequence.
+        self._link_rng = (DeterministicRng(link_faults.seed)
+                          if link_faults else None)
         self._pax_config = pax_config
         # ``pm_device`` lets a machine adopt an existing PM device — the
         # replication failover path brings a replica's device online.
@@ -179,6 +186,9 @@ class PaxMachine(_BaseMachine):
                                 config=self._pax_config,
                                 vpm_base=HEAP_PHYS_BASE)
         self.link = CxlLink.from_model(self.link_name, self.clock, self.latency)
+        if self._link_faults is not None:
+            self.link = LossyLink(self.link, self._link_faults,
+                                  rng=self._link_rng)
         if self.protocol == "cxl.mem":
             self.port = MemDevicePort(self.link, self.device)
             self.snoop_port = None       # CXL.mem has no snoop channel

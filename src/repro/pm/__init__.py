@@ -4,22 +4,36 @@ from repro.pm.device import PmDevice
 from repro.pm.flush import FlushModel
 from repro.pm.log import (
     ENTRY_SIZE,
+    LogScanResult,
     UndoEntry,
     UndoLogRegion,
+    classify_entry,
     decode_entry,
     encode_entry,
 )
-from repro.pm.pool import Pool, POOL_MAGIC, POOL_VERSION
+from repro.pm.pool import (
+    EPOCH_SLOT_OFFSETS,
+    POOL_MAGIC,
+    POOL_VERSION,
+    Pool,
+    decode_epoch_record,
+    encode_epoch_record,
+)
 
 __all__ = [
     "ENTRY_SIZE",
+    "EPOCH_SLOT_OFFSETS",
     "FlushModel",
+    "LogScanResult",
     "PmDevice",
     "Pool",
     "POOL_MAGIC",
     "POOL_VERSION",
     "UndoEntry",
     "UndoLogRegion",
+    "classify_entry",
     "decode_entry",
+    "decode_epoch_record",
     "encode_entry",
+    "encode_epoch_record",
 ]

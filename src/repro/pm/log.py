@@ -77,18 +77,62 @@ def encode_entry(epoch, addr, data):
     return body + _CRC.pack(crc32c(body)) + b"\x00" * (ENTRY_SIZE - _CRC_OFFSET - 4)
 
 
-def decode_entry(blob, offset=0):
-    """Decode one entry; return :class:`UndoEntry` or None if invalid."""
+#: Per-slot verdicts from :func:`classify_entry`.
+SLOT_VALID = "valid"      # magic, length, and CRC all check out
+SLOT_HOLE = "hole"        # zero magic: a poisoned/never-written header
+SLOT_INVALID = "invalid"  # nonzero junk: a torn write or flipped bits
+
+
+def classify_entry(blob, offset=0):
+    """Classify one entry slot; returns ``(verdict, entry_or_None)``.
+
+    A *hole* (zero magic) is the deliberate tail poison an append or
+    reset writes — the normal end of the log. An *invalid* slot holds
+    nonzero bytes that fail magic/length/CRC validation: either the tail
+    entry whose append was torn by a crash, or a once-valid entry whose
+    media bits flipped. Which of the two it is cannot be told from the
+    slot alone; recovery decides from context (see
+    :meth:`UndoLogRegion.scan_report`).
+    """
     if len(blob) < ENTRY_SIZE:
-        return None
+        return SLOT_HOLE, None
     magic, length, _pad, epoch, addr = _PREFIX.unpack_from(blob, 0)
+    if magic == 0:
+        return SLOT_HOLE, None
     if magic != ENTRY_MAGIC or not 1 <= length <= CACHE_LINE_SIZE:
-        return None
+        return SLOT_INVALID, None
     (stored_crc,) = _CRC.unpack_from(blob, _CRC_OFFSET)
     if stored_crc != crc32c(blob[:_CRC_OFFSET]):
-        return None
+        return SLOT_INVALID, None
     data = bytes(blob[_PREFIX.size:_PREFIX.size + length])
-    return UndoEntry(epoch, addr, data, offset)
+    return SLOT_VALID, UndoEntry(epoch, addr, data, offset)
+
+
+def decode_entry(blob, offset=0):
+    """Decode one entry; return :class:`UndoEntry` or None if invalid."""
+    return classify_entry(blob, offset)[1]
+
+
+#: Tail verdicts from :meth:`UndoLogRegion.scan_report`.
+TAIL_CLEAN = "clean"        # hole (or region end) after the valid prefix
+TAIL_TORN = "torn"          # invalid tail slot: the append never completed
+TAIL_CORRUPT = "corrupt"    # invalid slot with durable entries after it
+TAIL_DISORDER = "disorder"  # live entries out of epoch order
+
+
+class LogScanResult:
+    """Everything a durable-bytes-only scan of the log region found."""
+
+    __slots__ = ("entries", "tail", "tail_offset")
+
+    def __init__(self, entries, tail, tail_offset):
+        self.entries = entries          # valid prefix, in append order
+        self.tail = tail                # one of the TAIL_* verdicts
+        self.tail_offset = tail_offset  # region offset where the scan stopped
+
+    def __repr__(self):
+        return "LogScanResult(%d entries, tail=%s @%d)" % (
+            len(self.entries), self.tail, self.tail_offset)
 
 
 class UndoLogRegion:
@@ -151,16 +195,90 @@ class UndoLogRegion:
 
         Used by recovery, which must rely only on durable bytes: the scan
         re-reads the device rather than trusting ``write_offset`` (which is
-        volatile state lost in a crash).
+        volatile state lost in a crash). Thin wrapper over
+        :meth:`scan_report`, which also grades the tail.
         """
+        return iter(self.scan_report().entries)
+
+    def scan_report(self, committed_epoch=None):
+        """Scan durable bytes and grade what ended the valid prefix.
+
+        Returns a :class:`LogScanResult` and surfaces per-entry validation
+        verdicts in this region's :class:`StatGroup` counters
+        (``entries_valid``, ``entries_torn``, ``entries_corrupt``).
+
+        The interesting case is an *invalid* slot (nonzero bytes failing
+        CRC). Two faults produce one:
+
+        * a crash tore the tail append — the entry never became durable,
+          so (by the write-back gate) its target line never reached PM
+          either, and rolling back just the valid prefix is exactly
+          right (``TAIL_TORN``);
+        * media corruption flipped bits in a once-durable entry — its
+          pre-image is unrecoverable and rollback would silently miss a
+          line (``TAIL_CORRUPT``).
+
+        They are distinguished by what follows: appends are strictly
+        sequential within the region, so any *later* valid entry from an
+        uncommitted epoch (``epoch > committed_epoch``) proves the
+        invalid slot was once a durable entry — corruption, not a tear.
+        Without ``committed_epoch`` the look-ahead treats any valid entry
+        as proof (recovery always passes the committed epoch so stale
+        pre-reset remnants are not miscounted).
+        """
+        entries = []
+        previous_epoch = 0
         offset = 0
+        tail = TAIL_CLEAN
         while offset + ENTRY_SIZE <= self.size:
             blob = self.device.read(self.base + offset, ENTRY_SIZE)
-            entry = decode_entry(blob, offset)
-            if entry is None:
-                return
-            yield entry
+            verdict, entry = classify_entry(blob, offset)
+            if verdict == SLOT_HOLE:
+                break
+            if verdict == SLOT_VALID:
+                if entry.epoch < previous_epoch:
+                    if committed_epoch is not None \
+                            and entry.epoch <= committed_epoch:
+                        # A stale pre-reset remnant exposed by a torn
+                        # tail-poison write: the true tail is here.
+                        break
+                    tail = TAIL_DISORDER
+                    break
+                previous_epoch = entry.epoch
+                entries.append(entry)
+                offset += ENTRY_SIZE
+                continue
+            # Invalid slot: torn tail append, or corruption mid-log.
+            if self._durable_entry_follows(offset + ENTRY_SIZE,
+                                           committed_epoch):
+                tail = TAIL_CORRUPT
+            else:
+                tail = TAIL_TORN
+            break
+        self.stats.counter("entries_valid").add(len(entries))
+        if tail == TAIL_TORN:
+            self.stats.counter("entries_torn").add(1)
+        elif tail == TAIL_CORRUPT:
+            self.stats.counter("entries_corrupt").add(1)
+        return LogScanResult(entries, tail, offset)
+
+    def _durable_entry_follows(self, offset, committed_epoch):
+        """True if any slot at/after ``offset`` holds a live valid entry.
+
+        Stops at the first hole: appends are sequential and poison the
+        next header, so a live entry can never sit past a hole — only
+        stale pre-reset remnants can, and those prove nothing.
+        """
+        while offset + ENTRY_SIZE <= self.size:
+            blob = self.device.read(self.base + offset, ENTRY_SIZE)
+            verdict, entry = classify_entry(blob, offset)
+            if verdict == SLOT_HOLE:
+                return False
+            if verdict == SLOT_VALID and (committed_epoch is None
+                                          or entry.epoch > committed_epoch):
+                return True
             offset += ENTRY_SIZE
+        return False
 
     def __repr__(self):
         return "UndoLogRegion(%d/%d entries)" % (

@@ -11,11 +11,16 @@ in the style of PMDK pools and the paper's ``map_pool("./ht.pool")``
 ====================  =======================================================
 
 The static header is CRC-protected and written once at format time. The
-**epoch cell** is a lone 8-byte word at a fixed offset: committing a
-snapshot is a single atomic u64 store (PM guarantees 8-byte write
-atomicity), exactly the paper's "writes the current epoch number to a
-special location" commit step (§3.3). ``root_ptr`` and ``alloc_root`` are
-also single-word cells updated atomically.
+**epoch record** is a dual-slot, CRC-protected structure: committing a
+snapshot writes ``{epoch, crc}`` into slot ``epoch % 2`` — the paper's
+"writes the current epoch number to a special location" commit step
+(§3.3), hardened against torn commits. Because consecutive commits
+alternate slots (each slot lives in its own cache line), a crash that
+tears the in-flight slot write leaves at most that one slot with a bad
+CRC, and :meth:`Pool.open` falls back to the other slot — the previous
+committed epoch — instead of bricking the pool. ``root_ptr`` and
+``alloc_root`` are single-word cells updated atomically (PM guarantees
+8-byte write atomicity).
 
 All addresses stored inside the pool (root pointer, undo entry targets,
 structure pointers) are **pool-relative offsets**, so a pool can be
@@ -31,7 +36,9 @@ from repro.util.constants import CACHE_LINE_SIZE, PAGE_SIZE
 
 #: "PAXPOOL\0" little-endian.
 POOL_MAGIC = 0x004C4F4F50584150
-POOL_VERSION = 1
+#: Version 2 replaced the single u64 epoch cell with the dual-slot
+#: CRC-protected epoch record (torn-commit hardening).
+POOL_VERSION = 2
 
 #: Static header: magic, version, pool_size, log_base, log_size,
 #: data_base, data_size  (7 x u64), then crc (u32).
@@ -40,10 +47,17 @@ _HEADER_CRC_OFFSET = _HEADER.size
 
 #: Single-word cells, each in its own cache line to avoid false sharing
 #: between the epoch commit write and structure metadata updates.
-EPOCH_OFFSET = 2 * CACHE_LINE_SIZE
 ROOT_PTR_OFFSET = 3 * CACHE_LINE_SIZE
 ALLOC_ROOT_OFFSET = 4 * CACHE_LINE_SIZE
 ROOT_KIND_OFFSET = 5 * CACHE_LINE_SIZE
+
+#: The two epoch-record slots, each in its own cache line so one torn
+#: line write can never damage both.
+EPOCH_SLOT_OFFSETS = (2 * CACHE_LINE_SIZE, 6 * CACHE_LINE_SIZE)
+
+#: One epoch-record slot: epoch (u64) then crc32c over the epoch bytes.
+_EPOCH_SLOT = struct.Struct("<QI")
+EPOCH_SLOT_SIZE = _EPOCH_SLOT.size
 
 #: Values of the root-kind cell.
 ROOT_KIND_NONE = 0        # no root published yet
@@ -51,6 +65,22 @@ ROOT_KIND_SINGLE = 1      # root_ptr is one user structure
 ROOT_KIND_DIRECTORY = 2   # root_ptr is the named-root directory
 
 _U64 = struct.Struct("<Q")
+
+
+def encode_epoch_record(epoch):
+    """Serialize one epoch-record slot (fault tests tear these bytes)."""
+    body = _U64.pack(epoch)
+    return body + struct.pack("<I", crc32c(body))
+
+
+def decode_epoch_record(blob):
+    """Decode one slot; returns the epoch, or None if the CRC is bad."""
+    if len(blob) < _EPOCH_SLOT.size:
+        return None
+    epoch, stored_crc = _EPOCH_SLOT.unpack_from(blob, 0)
+    if stored_crc != crc32c(blob[:_U64.size]):
+        return None
+    return epoch
 
 
 class Pool:
@@ -80,7 +110,11 @@ class Pool:
                               log_base, log_size, data_base, data_size)
         device.write(0, header)
         device.write(_HEADER_CRC_OFFSET, struct.pack("<I", crc32c(header)))
-        device.write(EPOCH_OFFSET, _U64.pack(0))
+        # Both epoch slots start valid at epoch 0: a torn first commit
+        # must still leave one readable slot.
+        record = encode_epoch_record(0)
+        for slot_offset in EPOCH_SLOT_OFFSETS:
+            device.write(slot_offset, record)
         device.write(ROOT_PTR_OFFSET, _U64.pack(0))
         device.write(ALLOC_ROOT_OFFSET, _U64.pack(0))
         device.write(ROOT_KIND_OFFSET, _U64.pack(ROOT_KIND_NONE))
@@ -128,18 +162,47 @@ class Pool:
         # explicitly flushed past) the CPU caches.
         self.device.write(offset, _U64.pack(value))
 
+    def epoch_record(self):
+        """Read the dual-slot epoch record.
+
+        Returns ``(epoch, slot_used, valid_slots)`` where ``valid_slots``
+        is a per-slot CRC verdict tuple. When both slots are valid (the
+        common case) the newer epoch wins; when a torn or corrupted commit
+        has invalidated one slot, the survivor — the previous committed
+        epoch — is used. Both slots invalid means the epoch record itself
+        was corrupted (media fault), which no rollback can repair.
+        """
+        epochs = []
+        for slot_offset in EPOCH_SLOT_OFFSETS:
+            blob = self.device.read(slot_offset, _EPOCH_SLOT.size)
+            epochs.append(decode_epoch_record(blob))
+        valid = tuple(epoch is not None for epoch in epochs)
+        if not any(valid):
+            raise PoolError(
+                "both epoch record slots are corrupt on %s; the pool's "
+                "committed snapshot cannot be determined" % self.device.name)
+        slot_used = max((epoch, index) for index, epoch in enumerate(epochs)
+                        if epoch is not None)[1]
+        return epochs[slot_used], slot_used, valid
+
     @property
     def committed_epoch(self):
         """Epoch number of the most recent durable snapshot."""
-        return self._read_cell(EPOCH_OFFSET)
+        return self.epoch_record()[0]
 
     def commit_epoch(self, epoch):
-        """Atomically advance the committed epoch (must be monotonic)."""
+        """Durably advance the committed epoch (must be monotonic).
+
+        Writes slot ``epoch % 2``, never the slot holding the previous
+        epoch, so a crash that tears this write rolls the pool back to
+        the prior committed snapshot instead of corrupting it.
+        """
         current = self.committed_epoch
         if epoch <= current:
             raise PoolError(
                 "epoch commit must advance: %d -> %d" % (current, epoch))
-        self._write_cell(EPOCH_OFFSET, epoch)
+        self.device.write(EPOCH_SLOT_OFFSETS[epoch % 2],
+                          encode_epoch_record(epoch))
 
     @property
     def root_ptr(self):

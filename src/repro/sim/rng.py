@@ -6,6 +6,7 @@ The zipfian generator reproduces the YCSB ``ScrambledZipfian`` behaviour
 used by key-value benchmarks like the paper's.
 """
 
+import hashlib
 import random
 
 from repro.errors import ConfigError
@@ -42,9 +43,16 @@ class DeterministicRng:
         """Derive an independent child RNG keyed by ``label``.
 
         Used to give each simulated thread its own stream so adding a
-        thread does not perturb the others' key sequences.
+        thread does not perturb the others' key sequences. Keyed with a
+        stable hash, NOT the builtin ``hash()``: string hashing is
+        salted per process, which would make fork-derived streams (and
+        any fuzz counter-example built on them) unreplayable across
+        runs.
         """
-        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF) or 1
+        digest = hashlib.blake2b(repr((self.seed, label)).encode("utf-8"),
+                                 digest_size=8).digest()
+        child_seed = (int.from_bytes(digest, "little") & 0x7FFFFFFFFFFFFFFF) \
+            or 1
         return DeterministicRng(child_seed)
 
 

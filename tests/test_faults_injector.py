@@ -1,0 +1,208 @@
+"""Fault primitives: torn writes, bit flips, and plan-driven injection."""
+
+import pytest
+
+from repro.crashtest import CrashInjector
+from repro.errors import ConfigError
+from repro.faults import (
+    BIT_FLIP_REGIONS,
+    BitFlipSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultyPmDevice,
+    LinkFaultSpec,
+)
+from repro.pm.device import PmDevice
+from repro.pm.pool import EPOCH_SLOT_OFFSETS, Pool
+from repro.sim.rng import DeterministicRng
+from repro.structures import HashMap
+from tests.conftest import make_pax_pool, small_cache_kwargs
+
+POOL_SIZE = 2 * 1024 * 1024
+
+
+def make_faulty_pool(**overrides):
+    device = FaultyPmDevice("pm0", POOL_SIZE)
+    kwargs = dict(pm_device=device, pool_size=POOL_SIZE, log_size=64 * 1024)
+    kwargs.update(small_cache_kwargs())
+    kwargs.update(overrides)
+    return make_pax_pool(**kwargs), device
+
+
+class TestFaultyPmDevice:
+    def test_behaves_like_pm_until_asked(self):
+        device = FaultyPmDevice("pm0", 4096)
+        device.write(64, b"hello")
+        assert device.read(64, 5) == b"hello"
+
+    def test_tear_keeps_prefix_reverts_suffix(self):
+        device = FaultyPmDevice("pm0", 4096)
+        device.write(128, b"\xAA" * 8)
+        device.write(128, b"\xBB" * 8)
+        offset, keep, total = device.tear_last_write(3)
+        assert (offset, keep, total) == (128, 3, 8)
+        assert device.read(128, 8) == b"\xBB" * 3 + b"\xAA" * 5
+        assert device.stats.counter("writes_torn").value == 1
+
+    def test_tear_clamps_keep_bytes(self):
+        device = FaultyPmDevice("pm0", 4096)
+        device.write(0, b"\x11" * 4)
+        device.write(0, b"\x22" * 4)
+        device.tear_last_write(99)
+        assert device.read(0, 4) == b"\x22" * 4      # full payload kept
+        device.write(0, b"\x33" * 4)
+        device.tear_last_write(-5)
+        assert device.read(0, 4) == b"\x22" * 4      # fully reverted
+
+    def test_tear_with_empty_journal_is_none(self):
+        device = FaultyPmDevice("pm0", 4096)
+        assert device.tear_last_write(1) is None
+        device.write(0, b"x")
+        device.clear_journal()
+        assert device.tear_last_write(1) is None
+
+    def test_journal_depth_bounds_history(self):
+        device = FaultyPmDevice("pm0", 4096, journal_depth=2)
+        for index in range(5):
+            device.write(index * 64, bytes([index]))
+        assert device.last_write[0] == 4 * 64
+        assert len(device._journal) == 2
+
+    def test_flip_bit_bypasses_write_accounting(self):
+        device = FaultyPmDevice("pm0", 4096)
+        device.write(256, b"\x00" * 8)
+        writes_before = device.stats.counter("writes").value
+        device.flip_bit(256, 9)
+        assert device.read(256, 2) == b"\x00\x02"
+        assert device.stats.counter("writes").value == writes_before
+        assert device.stats.counter("bits_flipped").value == 1
+
+    def test_flip_random_bits_stays_in_range(self):
+        device = FaultyPmDevice("pm0", 4096)
+        rng = DeterministicRng(3)
+        device.flip_random_bits(512, 16, 32, rng)
+        assert device.read(0, 512) == bytes(512)
+        assert device.read(528, 512) == bytes(512)
+        assert device.stats.counter("bits_flipped").value == 32
+
+
+class TestFaultPlan:
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ConfigError):
+            BitFlipSpec("heap").validate()
+        with pytest.raises(ConfigError):
+            BitFlipSpec("log", flips=0).validate()
+        with pytest.raises(ConfigError):
+            LinkFaultSpec(drop_rate=1.0).validate()
+        with pytest.raises(ConfigError):
+            LinkFaultSpec(max_retries=0).validate()
+        with pytest.raises(ConfigError):
+            FaultPlan(bitflips=(BitFlipSpec("bogus"),)).validate()
+
+    def test_random_plans_are_valid_and_varied(self):
+        rng = DeterministicRng(11)
+        plans = [FaultPlan.random(rng) for _ in range(200)]
+        assert any(p.torn_write for p in plans)
+        assert any(p.link is not None for p in plans)
+        regions = {s.region for p in plans for s in p.bitflips}
+        assert regions == set(BIT_FLIP_REGIONS)
+        assert any(p.is_benign for p in plans)
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan(torn_write=True,
+                         bitflips=(BitFlipSpec("epoch"),),
+                         link=LinkFaultSpec())
+        text = plan.describe()
+        assert "torn-write" in text and "epoch" in text and "lossy" in text
+        assert FaultPlan().describe() == "clean-crash"
+
+
+class TestCrashInjectorHookLifetime:
+    def test_unrelated_exception_disarms_hook(self):
+        # Regression: an exception other than CrashSignal used to leave
+        # the store hook armed, so the countdown fired during whatever
+        # the caller did next.
+        pool = make_pax_pool()
+        table = pool.persistent(HashMap, capacity=16)
+        injector = CrashInjector(pool.machine)
+        injector.arm(10_000)      # far beyond what explodes() stores
+
+        def explodes():
+            table.put(1, 1)
+            raise ValueError("unrelated bug")
+
+        with pytest.raises(ValueError):
+            injector.run(explodes)
+        assert pool.machine.store_hook is None
+        for key in range(32):          # plenty of stores; must not crash
+            table.put(key, key)
+        assert not pool.machine.crashed
+        assert injector.stats.counter("crashes_fired").value == 0
+
+    def test_completed_not_counted_on_exception(self):
+        pool = make_pax_pool()
+        injector = CrashInjector(pool.machine)
+        injector.arm(1)
+        with pytest.raises(ValueError):
+            injector.run(lambda: (_ for _ in ()).throw(ValueError()))
+        assert injector.stats.counter("completed").value == 0
+
+
+class TestFaultInjector:
+    def test_torn_write_requires_faulty_device(self):
+        pool = make_pax_pool(pm_device=PmDevice("pm0", POOL_SIZE),
+                             pool_size=POOL_SIZE)
+        with pytest.raises(ConfigError):
+            FaultInjector(pool.machine, FaultPlan(torn_write=True))
+
+    def test_crash_applies_tear_to_last_pm_write(self):
+        pool, device = make_faulty_pool()
+        table = pool.persistent(HashMap, capacity=16)
+        for key in range(8):
+            table.put(key, key)
+        pool.persist()                      # guarantees PM writes happened
+        injector = FaultInjector(pool.machine,
+                                 FaultPlan(torn_write=True, seed=5))
+        injector.crash()
+        assert pool.machine.crashed
+        assert injector.stats.counter("tears_applied").value == 1
+        assert device.stats.counter("writes_torn").value == 1
+
+    def test_epoch_flip_hits_a_slot(self):
+        pool, device = make_faulty_pool()
+        table = pool.persistent(HashMap, capacity=16)
+        table.put(1, 1)
+        pool.persist()
+        plan = FaultPlan(bitflips=(BitFlipSpec("epoch", flips=4),), seed=9)
+        injector = FaultInjector(pool.machine, plan)
+        before = [bytes(device.read(off, 12)) for off in EPOCH_SLOT_OFFSETS]
+        injector.crash()
+        after = [bytes(device.read(off, 12)) for off in EPOCH_SLOT_OFFSETS]
+        assert before != after
+        assert injector.stats.counter("flips_applied").value == 4
+
+    def test_log_flip_skipped_when_log_too_short(self):
+        pool, device = make_faulty_pool()
+        pool.persistent(HashMap, capacity=16)
+        pool.persist()                      # log reset: no interior entries
+        plan = FaultPlan(bitflips=(BitFlipSpec("log"),), seed=9)
+        injector = FaultInjector(pool.machine, plan)
+        injector.crash()
+        assert injector.stats.counter("flips_skipped").value == 1
+
+    def test_run_composes_with_crash_injector(self):
+        pool, device = make_faulty_pool()
+        table = pool.persistent(HashMap, capacity=16)
+        for key in range(8):
+            table.put(key, key)
+        pool.persist()
+        snapshot = dict(table.to_dict())
+        injector = FaultInjector(pool.machine,
+                                 FaultPlan(torn_write=True, seed=21))
+        injector.arm(5)
+        crashed = injector.run(
+            lambda: [table.put(k, k + 100) for k in range(8)])
+        assert crashed
+        pool.restart()
+        recovered = pool.reattach_root(HashMap)
+        assert recovered.to_dict() == snapshot

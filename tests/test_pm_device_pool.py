@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import PoolError
 from repro.pm.device import PmDevice
-from repro.pm.pool import Pool, EPOCH_OFFSET
+from repro.pm.pool import (
+    EPOCH_SLOT_OFFSETS,
+    Pool,
+    decode_epoch_record,
+    encode_epoch_record,
+)
 
 
 class TestPmDevice:
@@ -108,11 +113,38 @@ class TestEpochCell:
         device.on_crash()
         assert Pool.open(device).committed_epoch == 7
 
-    def test_epoch_cell_is_single_word(self):
+    def test_commit_writes_alternating_slots(self):
         device = PmDevice("pm", 1 << 20)
         pool = Pool.format(device, log_size=96 * 1024)
-        pool.commit_epoch(0xABCD)
-        assert int.from_bytes(device.read(EPOCH_OFFSET, 8), "little") == 0xABCD
+        pool.commit_epoch(1)
+        assert decode_epoch_record(device.read(EPOCH_SLOT_OFFSETS[1], 12)) == 1
+        assert decode_epoch_record(device.read(EPOCH_SLOT_OFFSETS[0], 12)) == 0
+        pool.commit_epoch(2)
+        assert decode_epoch_record(device.read(EPOCH_SLOT_OFFSETS[0], 12)) == 2
+        assert pool.committed_epoch == 2
+
+    def test_torn_commit_falls_back_to_prior_epoch(self):
+        device = PmDevice("pm", 1 << 20)
+        pool = Pool.format(device, log_size=96 * 1024)
+        pool.commit_epoch(1)
+        pool.commit_epoch(2)
+        # Epoch 3 targets slot 1 (holding epoch 1); tear the slot write
+        # after 5 of its 12 bytes.
+        record = encode_epoch_record(3)
+        old = device.read(EPOCH_SLOT_OFFSETS[1], 12)
+        device.write(EPOCH_SLOT_OFFSETS[1], record[:5] + old[5:])
+        epoch, slot_used, valid = pool.epoch_record()
+        assert epoch == 2
+        assert slot_used == 0
+        assert valid == (True, False)
+
+    def test_both_slots_corrupt_detected(self):
+        device = PmDevice("pm", 1 << 20)
+        pool = Pool.format(device, log_size=96 * 1024)
+        for slot_offset in EPOCH_SLOT_OFFSETS:
+            device.write(slot_offset, b"\xde\xad" * 6)
+        with pytest.raises(PoolError):
+            pool.committed_epoch
 
 
 class TestRootCells:
