@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest fuzz fuzz-smoke clean
+.PHONY: install test bench examples quicktest lint fuzz fuzz-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,14 +16,28 @@ quicktest:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# Static analysis: project-specific AST lint rules over the simulator
+# sources (typed errors, PM write discipline, determinism); see
+# docs/analysis-tools.md.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/
+
 # Crash-consistency fuzzing (crash point x fault plan x structure); see
 # docs/faults.md. `fuzz` is the full seeded sweep, `fuzz-smoke` a fast
-# fixed-seed subset suitable for CI.
+# fixed-seed subset suitable for CI. SANITIZE=1 attaches PaxSan, the
+# dynamic persist-order checker, to every iteration.
+SANITIZE ?= 0
+ifeq ($(SANITIZE),1)
+FUZZ_FLAGS = --sanitize
+else
+FUZZ_FLAGS =
+endif
+
 fuzz:
-	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 500 --seed 1234
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 500 --seed 1234 $(FUZZ_FLAGS)
 
 fuzz-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 50 --seed 7 --progress 0
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 50 --seed 7 --progress 0 $(FUZZ_FLAGS)
 
 examples:
 	@for script in examples/*.py; do \

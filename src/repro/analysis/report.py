@@ -5,6 +5,8 @@ shows, via these helpers, so ``pytest benchmarks/ --benchmark-only`` output
 doubles as the EXPERIMENTS.md data source.
 """
 
+from repro.errors import StatsError
+
 
 class Table:
     """A fixed-column text table."""
@@ -17,7 +19,7 @@ class Table:
     def add_row(self, *values):
         """Append one row (stringified on render)."""
         if len(values) != len(self.columns):
-            raise ValueError("expected %d values, got %d"
+            raise StatsError("expected %d values, got %d"
                              % (len(self.columns), len(values)))
         self.rows.append([_fmt(value) for value in values])
 

@@ -8,6 +8,7 @@ share one epoch, the knob paper §3.2 calls group commit.
 """
 
 from repro.baselines.base import StructureBackend
+from repro.errors import ConfigError
 from repro.libpax.pool import PaxPool
 from repro.structures.hashmap import HashMap
 
@@ -74,6 +75,6 @@ def make_backend(name, **kwargs):
     try:
         cls = classes[name]
     except KeyError:
-        raise ValueError("unknown backend %r (have %s)"
-                         % (name, ", ".join(sorted(classes)))) from None
+        raise ConfigError("unknown backend %r (have %s)"
+                          % (name, ", ".join(sorted(classes)))) from None
     return cls(**kwargs)

@@ -38,6 +38,8 @@ class UndoTxAccessor(MemoryAccessor):
         self._tx_id = None
         self._logged = set()
         self._dirty = set()
+        #: Optional tracer told about transaction boundaries.
+        self.tracer = None
 
     # -- transaction control ------------------------------------------------
 
@@ -48,6 +50,8 @@ class UndoTxAccessor(MemoryAccessor):
         self._tx_id = tx_id
         self._logged.clear()
         self._dirty.clear()
+        if self.tracer is not None:
+            self.tracer.on_tx_begin(tx_id)
 
     @property
     def in_tx(self):
@@ -64,6 +68,8 @@ class UndoTxAccessor(MemoryAccessor):
         self._tx_id = None
         self._logged.clear()
         self._dirty.clear()
+        if self.tracer is not None:
+            self.tracer.on_tx_end()
 
     # -- data path -----------------------------------------------------------
 
@@ -125,6 +131,15 @@ class PmdkBackend(StructureBackend):
     @property
     def machine(self):
         return self._machine
+
+    def attach_tracer(self, tracer):
+        """Wire a sanitizer/tracer into the machine, WAL, and accessor."""
+        self._machine.attach_tracer(tracer)
+        self._flush.tracer = tracer
+        self._wal.tracer = tracer
+        self._cells.tracer = tracer
+        self._tx.tracer = tracer
+        tracer.on_backend_attach(self, self._layout)
 
     # -- transactions -----------------------------------------------------------
 

@@ -34,6 +34,8 @@ class RedoTxAccessor(MemoryAccessor):
         self._inner = inner
         self._tx_active = False
         self._overlay = {}            # line_addr -> bytearray(64)
+        #: Optional tracer told about transaction boundaries.
+        self.tracer = None
 
     def begin(self):
         """Open a transaction; clears the write-set overlay."""
@@ -41,6 +43,8 @@ class RedoTxAccessor(MemoryAccessor):
             raise LogError("nested transactions are not supported")
         self._tx_active = True
         self._overlay.clear()
+        if self.tracer is not None:
+            self.tracer.on_tx_begin()
 
     @property
     def in_tx(self):
@@ -55,6 +59,8 @@ class RedoTxAccessor(MemoryAccessor):
         """Close the transaction and drop the overlay."""
         self._tx_active = False
         self._overlay.clear()
+        if self.tracer is not None:
+            self.tracer.on_tx_end()
 
     def _overlay_line(self, line):
         data = self._overlay.get(line)
@@ -128,6 +134,15 @@ class RedoBackend(StructureBackend):
     @property
     def machine(self):
         return self._machine
+
+    def attach_tracer(self, tracer):
+        """Wire a sanitizer/tracer into the machine, WAL, and accessor."""
+        self._machine.attach_tracer(tracer)
+        self._flush.tracer = tracer
+        self._wal.tracer = tracer
+        self._cells.tracer = tracer
+        self._tx.tracer = tracer
+        tracer.on_backend_attach(self, self._layout)
 
     def _run_tx(self, operation):
         self._tx.begin()

@@ -50,6 +50,8 @@ class DurableCells:
     def __init__(self, machine, layout):
         self._space = machine.space
         self._layout = layout
+        #: Optional tracer told when the commit cell is published.
+        self.tracer = None
 
     def _read(self, offset):
         return _U64.unpack(self._space.read(HEAP_PHYS_BASE + offset, 8))[0]
@@ -64,6 +66,8 @@ class DurableCells:
 
     @committed_tx.setter
     def committed_tx(self, value):
+        if self.tracer is not None:
+            self.tracer.on_tx_commit(value)
         self._write(self._layout.commit_cell, value)
 
     @property
@@ -89,6 +93,8 @@ class Wal:
         self._layout = layout
         self._flush = flush
         self.write_offset = 0
+        #: Optional tracer told about appends and resets.
+        self.tracer = None
         self.stats = StatGroup("wal")
 
     @property
@@ -112,6 +118,8 @@ class Wal:
                 bytes(24))
         self.stats.counter("appends").add(1)
         self.stats.counter("bytes").add(ENTRY_SIZE)
+        if self.tracer is not None:
+            self.tracer.on_wal_append(tx_id, addr)
         # The NT store itself pipelines; ordering it before the following
         # structure store is what costs (paper §2).
         if fence:
@@ -123,6 +131,8 @@ class Wal:
         self._space.write(HEAP_PHYS_BASE + self._layout.wal_base, bytes(24))
         self.write_offset = 0
         self.stats.counter("resets").add(1)
+        if self.tracer is not None:
+            self.tracer.on_wal_reset()
 
     def scan(self):
         """Yield durable entries in order (recovery path; trusts only PM)."""

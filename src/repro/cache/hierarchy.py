@@ -76,6 +76,9 @@ class CacheHierarchy:
         from repro.cache.coherence import Directory
         self._dir = Directory()
         self._homes = []
+        #: Optional :class:`~repro.sanitizer.base.Tracer` notified of
+        #: every store (machines re-propagate it across restart()).
+        self.tracer = None
         self.stats = StatGroup("hierarchy")
 
     # -- configuration ------------------------------------------------------
@@ -112,6 +115,8 @@ class CacheHierarchy:
             line = self._access_line(core_id, base, exclusive=True)
             line.write(offset, data[cursor:cursor + length])
             cursor += length
+            if self.tracer is not None:
+                self.tracer.on_store(base)
 
     # -- the per-line coherence walk ----------------------------------------
 

@@ -6,6 +6,7 @@ bit. This mirrors a precise snoop filter and removes the classic simulator
 bug class of L1/L2 state divergence.
 """
 
+from repro.errors import ProtocolError
 from repro.util.constants import CACHE_LINE_SIZE
 
 
@@ -29,7 +30,7 @@ class CacheLine:
     def __init__(self, addr, data, dirty=False):
         data = bytearray(data)
         if len(data) != CACHE_LINE_SIZE:
-            raise ValueError("cache line must be %d bytes" % CACHE_LINE_SIZE)
+            raise ProtocolError("cache line must be %d bytes" % CACHE_LINE_SIZE)
         self.addr = addr
         self.data = data
         self.dirty = dirty

@@ -14,6 +14,7 @@ mirror — so a hit is always the newest device-visible value.
 
 from collections import OrderedDict
 
+from repro.errors import ProtocolError
 from repro.util.constants import CACHE_LINE_SIZE
 from repro.util.stats import StatGroup
 
@@ -47,7 +48,7 @@ class HbmCache:
             return
         data = bytes(data)
         if len(data) != CACHE_LINE_SIZE:
-            raise ValueError("HBM caches whole lines")
+            raise ProtocolError("HBM caches whole lines")
         self._lines[pool_addr] = data
         self._lines.move_to_end(pool_addr)
         if len(self._lines) > self.capacity_lines:

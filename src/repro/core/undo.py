@@ -41,6 +41,8 @@ class UndoLogger:
         self._durable_seq = 0
         self._logged = {}            # pool_addr -> seq, this epoch
         self._drain_credit = 0.0     # fractional bytes of drain budget
+        #: Optional tracer told about record creation and durability.
+        self.tracer = None
         self.stats = StatGroup("undo_logger")
 
     # -- producing records ---------------------------------------------------
@@ -68,6 +70,8 @@ class UndoLogger:
             _PendingRecord(seq, self.current_epoch, pool_addr, bytes(old_data)))
         self._logged[pool_addr] = seq
         self.stats.counter("records").add(1)
+        if self.tracer is not None:
+            self.tracer.on_log_record(pool_addr, seq, self.current_epoch)
         return seq
 
     def seq_for(self, pool_addr):
@@ -98,6 +102,8 @@ class UndoLogger:
         self._region.append(record.epoch, record.pool_addr, record.old_data)
         self._durable_seq = record.seq
         self.stats.counter("drained").add(1)
+        if self.tracer is not None:
+            self.tracer.on_log_durable(record.seq)
         return ENTRY_SIZE
 
     def drain_budget(self, byte_budget):

@@ -16,7 +16,9 @@ def __getattr__(name):
     if name in _FUZZ_EXPORTS:
         from repro.crashtest import fuzz
         return getattr(fuzz, name)
-    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    # PEP 562 requires AttributeError here for getattr()/hasattr().
+    raise AttributeError(  # lint: ignore[typed-errors]
+        "module %r has no attribute %r" % (__name__, name))
 
 
 __all__ = [

@@ -33,11 +33,12 @@ import sys
 
 from repro.cache.cache import CacheConfig
 from repro.crashtest.checker import SnapshotTracker, verify_map_integrity
-from repro.errors import LinkError, RecoveryError, ReproError
+from repro.errors import LinkError, RecoveryError, ReproError, SanitizerError
 from repro.faults.device import FaultyPmDevice
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.libpax.pool import PaxPool
+from repro.sanitizer import PaxSanitizer
 from repro.sim.rng import DeterministicRng
 from repro.structures.btree import BTree
 from repro.structures.hashmap import HashMap
@@ -106,12 +107,13 @@ class FuzzStats:
         return "\n".join(lines)
 
 
-def run_iteration(seed, allow_link=True):
+def run_iteration(seed, allow_link=True, sanitize=False):
     """One fuzz iteration.
 
     Returns ``(outcome, crashed_in_flight)`` where outcome is ``exact``,
     ``detected``, or ``link_exhausted``; raises :class:`FuzzFailure` on a
-    contract violation.
+    contract violation. With ``sanitize``, PaxSan shadows the iteration
+    and any persist-order violation it reports is a failure too.
     """
     rng = DeterministicRng(seed)
     plan = FaultPlan.random(rng.fork("plan"), allow_link=allow_link)
@@ -121,6 +123,8 @@ def run_iteration(seed, allow_link=True):
     pool = PaxPool.map_pool(pm_device=device, pool_size=POOL_SIZE,
                             log_size=LOG_SIZE, link_faults=plan.link,
                             **_small_caches())
+    if sanitize:
+        PaxSanitizer().attach(pool.machine)
     structure = pool.persistent(structure_cls)
     tracker = SnapshotTracker()
 
@@ -149,6 +153,8 @@ def run_iteration(seed, allow_link=True):
 
     try:
         crashed = injector.run(workload)
+    except SanitizerError as exc:
+        raise FuzzFailure("sanitizer violation during workload: %s" % exc)
     except LinkError:
         # The lossy link exhausted its retransmit budget: a loud, typed,
         # bounded failure. Astronomically rare at the drop rates
@@ -190,7 +196,8 @@ def run_iteration(seed, allow_link=True):
     return "exact", crashed
 
 
-def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None):
+def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None,
+             sanitize=False):
     """Run ``iterations`` seeded iterations; returns a :class:`FuzzStats`."""
     stats = FuzzStats()
     master = DeterministicRng(seed)
@@ -201,7 +208,8 @@ def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None):
         stats.record_plan(plan_preview)
         try:
             outcome, in_flight = run_iteration(iter_seed,
-                                               allow_link=allow_link)
+                                               allow_link=allow_link,
+                                               sanitize=sanitize)
             stats.outcomes[outcome] += 1
             stats.crashed_in_flight += in_flight
         except FuzzFailure as exc:
@@ -228,10 +236,14 @@ def main(argv=None):
     parser.add_argument("--progress", type=int, default=100, metavar="N",
                         help="print a progress line every N iterations "
                              "(0 = quiet)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach PaxSan to every iteration; a "
+                             "persist-order violation fails the run")
     args = parser.parse_args(argv)
     stats = run_fuzz(iterations=args.iterations, seed=args.seed,
                      allow_link=not args.no_link_faults,
-                     progress=args.progress or None)
+                     progress=args.progress or None,
+                     sanitize=args.sanitize)
     print(stats.summary())
     return 0 if stats.ok else 1
 

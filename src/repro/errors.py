@@ -62,3 +62,51 @@ class RecoveryError(ReproError):
 
 class ConfigError(ReproError):
     """A component was constructed with invalid configuration."""
+
+
+class StructureError(ReproError, IndexError):
+    """A persistent data structure was asked for something it cannot do
+    (pop from empty, index out of range, enqueue to a full ring).
+
+    Also an :class:`IndexError` so the structures keep Python's container
+    protocol (``__getitem__`` ends iteration with IndexError) while still
+    being catchable as :class:`ReproError`.
+    """
+
+
+class StatsError(ReproError):
+    """A statistics or reporting primitive was misused (e.g. a counter
+    asked to decrease, or a table row with the wrong arity)."""
+
+
+class SimulationError(ReproError):
+    """Simulated-time machinery was misused (clock moved backwards,
+    negative transfer sizes, a stopwatch stopped before starting)."""
+
+
+class SanitizerError(ReproError):
+    """PaxSan detected a persist-ordering violation.
+
+    Raised by :mod:`repro.sanitizer` when the dynamic persist-state
+    machine observes an illegal transition — a store reaching PM with no
+    undo record covering it, an epoch committed while modified lines were
+    still volatile, or a flush/fence ordering inversion. Carries the rule
+    id, the offending line address, and the epoch/transaction so findings
+    are located, not just described.
+    """
+
+    def __init__(self, rule, message, addr=None, epoch=None):
+        self.rule = rule
+        self.addr = addr
+        self.epoch = epoch
+        where = ""
+        if addr is not None:
+            where += " [line 0x%x]" % addr
+        if epoch is not None:
+            where += " [epoch %d]" % epoch
+        super().__init__("%s: %s%s" % (rule, message, where))
+
+
+class LintError(ReproError):
+    """The static linter was misconfigured (unknown rule id, bad plugin,
+    unreadable target). Lint *findings* are data, not exceptions."""

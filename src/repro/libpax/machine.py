@@ -128,10 +128,27 @@ class _BaseMachine:
         #: Optional callable invoked before every CPU store (crash-point
         #: injection; see :mod:`repro.crashtest.injector`).
         self.store_hook = None
+        #: Optional :class:`~repro.sanitizer.base.Tracer` observing the
+        #: machine's persist-relevant events (see attach_tracer).
+        self.tracer = None
         self.stats = StatGroup(type(self).__name__)
 
     def _fresh_hierarchy(self):
         return CacheHierarchy(self.clock, self.latency, **self._cache_kwargs)
+
+    def attach_tracer(self, tracer):
+        """Wire ``tracer`` into every instrumented component.
+
+        The wiring survives :meth:`restart` — components that are rebuilt
+        on reboot (the hierarchy, and on :class:`PaxMachine` the device)
+        are re-propagated to before ``on_machine_restart`` fires.
+        """
+        self.tracer = tracer
+        self._propagate_tracer()
+
+    def _propagate_tracer(self):
+        """Push the tracer into components (rebuilt ones included)."""
+        self.hierarchy.tracer = self.tracer
 
     def check_alive(self):
         if self.crashed:
@@ -201,6 +218,12 @@ class PaxMachine(_BaseMachine):
         self._tick = self.device.background_tick
         self.clock.on_advance(self._tick)
 
+    def _propagate_tracer(self):
+        super()._propagate_tracer()
+        self.pm.tracer = self.tracer
+        self.pool.tracer = self.tracer
+        self.device.undo.tracer = self.tracer
+
     @property
     def heap_size(self):
         """Bytes of structure space available."""
@@ -264,6 +287,8 @@ class PaxMachine(_BaseMachine):
 
     def crash(self):
         """Power failure: lose every volatile byte (caches, device SRAM)."""
+        if self.tracer is not None:
+            self.tracer.on_machine_crash()
         self.hierarchy.drop_all()
         self.device.on_crash()
         self.clock.remove_callback(self._tick)
@@ -282,6 +307,9 @@ class PaxMachine(_BaseMachine):
         self.recovery_report = recover_pool(self.pool)
         self._bring_up_device()
         self.crashed = False
+        self._propagate_tracer()
+        if self.tracer is not None:
+            self.tracer.on_machine_restart()
         self.stats.counter("restarts").add(1)
         return self.recovery_report
 
@@ -328,6 +356,8 @@ class HostMachine(_BaseMachine):
 
     def crash(self):
         """Power failure: caches are lost; PM keeps what reached it."""
+        if self.tracer is not None:
+            self.tracer.on_machine_crash()
         self.hierarchy.drop_all()
         if self.media == "dram":
             self.memory.on_crash()
@@ -339,4 +369,7 @@ class HostMachine(_BaseMachine):
         self.hierarchy = self._fresh_hierarchy()
         self.hierarchy.add_home(HEAP_PHYS_BASE, self.heap_size, self.home)
         self.crashed = False
+        self._propagate_tracer()
+        if self.tracer is not None:
+            self.tracer.on_machine_restart()
         self.stats.counter("restarts").add(1)

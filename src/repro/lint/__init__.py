@@ -1,0 +1,44 @@
+"""Project linter: static AST checks for the repro codebase.
+
+``python -m repro.lint src/`` parses every Python file under the given
+paths and runs a plugin catalogue of project-specific rules — the bug
+classes the PAX paper argues hand-written PM code keeps reintroducing
+(see docs/analysis-tools.md):
+
+``typed-errors``
+    Raise :class:`~repro.errors.ReproError` subclasses, never bare
+    builtins, so callers can catch one base class.
+``pm-direct-write``
+    Only sanctioned modules may write the PM device directly; everything
+    else must go through the cache hierarchy or an accessor, or PaxSan
+    (and the paper's write-interposition argument) loses visibility.
+``sim-determinism``
+    No wall-clock or ambient randomness in simulation code; time comes
+    from ``sim.clock`` and randomness from ``sim.rng``.
+``mutable-default``
+    No mutable default arguments.
+
+Findings can be suppressed per line with ``# lint: ignore[rule-id]``
+(or a bare ``# lint: ignore`` for every rule). New rules register with
+the :func:`~repro.lint.engine.rule` decorator; see
+:mod:`repro.lint.rules` for the catalogue.
+"""
+
+from repro.lint.engine import (
+    LintFinding,
+    all_rules,
+    lint_source,
+    main,
+    rule,
+    run_paths,
+)
+from repro.lint import rules as _rules  # noqa: F401  (registers the catalogue)
+
+__all__ = [
+    "LintFinding",
+    "all_rules",
+    "lint_source",
+    "main",
+    "rule",
+    "run_paths",
+]

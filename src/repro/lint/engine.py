@@ -1,0 +1,211 @@
+"""The lint engine: rule registry, suppression parsing, file walking.
+
+Rules are plugins: a rule is a generator function taking a
+:class:`LintContext` and yielding ``(lineno, col, message)`` tuples; the
+:func:`rule` decorator registers it under a stable id. The engine owns
+everything else — AST parsing, per-line ``# lint: ignore[rule]``
+suppressions, path walking, and the CLI.
+"""
+
+import argparse
+import ast
+import os
+import re
+import sys
+
+from repro.errors import LintError
+
+#: ``# lint: ignore`` or ``# lint: ignore[rule-a, rule-b]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[a-z0-9\-_,\s]*)\])?")
+
+_RULES = {}
+
+
+class Rule:
+    """One registered rule: an id, a one-line summary, and a checker."""
+
+    __slots__ = ("rule_id", "summary", "check")
+
+    def __init__(self, rule_id, summary, check):
+        self.rule_id = rule_id
+        self.summary = summary
+        self.check = check
+
+
+def rule(rule_id, summary):
+    """Decorator registering ``func`` as the checker for ``rule_id``.
+
+    ``func(ctx)`` receives a :class:`LintContext` and yields
+    ``(lineno, col, message)`` findings. Registering the same id twice is
+    a programming error and raises :class:`~repro.errors.LintError`.
+    """
+    if not re.fullmatch(r"[a-z][a-z0-9\-]*", rule_id):
+        raise LintError("rule id %r must be kebab-case" % (rule_id,))
+
+    def decorator(func):
+        if rule_id in _RULES:
+            raise LintError("duplicate lint rule id %r" % (rule_id,))
+        _RULES[rule_id] = Rule(rule_id, summary, func)
+        return func
+    return decorator
+
+
+def all_rules():
+    """The registered catalogue as ``{rule_id: Rule}`` (a copy)."""
+    return dict(_RULES)
+
+
+class LintFinding:
+    """One located finding: file, position, rule id, message."""
+
+    __slots__ = ("path", "lineno", "col", "rule_id", "message")
+
+    def __init__(self, path, lineno, col, rule_id, message):
+        self.path = path
+        self.lineno = lineno
+        self.col = col
+        self.rule_id = rule_id
+        self.message = message
+
+    def render(self):
+        """``path:line:col: rule-id message`` (editor-clickable)."""
+        return "%s:%d:%d: %s %s" % (self.path, self.lineno, self.col,
+                                    self.rule_id, self.message)
+
+    def __repr__(self):
+        return "LintFinding(%s)" % self.render()
+
+
+class LintContext:
+    """Everything a rule checker may inspect about one file."""
+
+    def __init__(self, path, source, tree):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: Path normalized to forward slashes, for module-scope predicates.
+        self.norm_path = path.replace(os.sep, "/")
+
+    def in_package(self, *suffixes):
+        """True if this file lives at one of ``suffixes`` inside the
+        ``repro`` package (e.g. ``"pm/"`` or ``"sim/rng.py"``)."""
+        marker = "/repro/"
+        index = self.norm_path.rfind(marker)
+        if index < 0:
+            if self.norm_path.startswith("repro/"):
+                relative = self.norm_path[len("repro/"):]
+            else:
+                return False
+        else:
+            relative = self.norm_path[index + len(marker):]
+        return any(relative == s or relative.startswith(s) for s in suffixes)
+
+
+def _suppressed_rules(line):
+    """Return None (no marker), "all", or a set of suppressed rule ids."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group("rules")
+    if listed is None or not listed.strip():
+        return "all"
+    return {item.strip() for item in listed.split(",") if item.strip()}
+
+
+def lint_source(path, source, selected=None):
+    """Lint one source string; returns a list of :class:`LintFinding`.
+
+    ``selected`` restricts the run to an iterable of rule ids (all
+    registered rules when None). Unknown ids raise
+    :class:`~repro.errors.LintError`. Syntax errors are reported as a
+    finding under the pseudo-rule ``parse-error`` rather than raised, so
+    one broken file cannot hide the rest of the tree's findings.
+    """
+    rules = _select(selected)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 1, exc.offset or 0,
+                            "parse-error", str(exc.msg))]
+    ctx = LintContext(path, source, tree)
+    findings = []
+    for rule_obj in rules:
+        for lineno, col, message in rule_obj.check(ctx):
+            line = ctx.lines[lineno - 1] if 0 < lineno <= len(ctx.lines) else ""
+            suppressed = _suppressed_rules(line)
+            if suppressed == "all" or \
+                    (suppressed is not None and rule_obj.rule_id in suppressed):
+                continue
+            findings.append(
+                LintFinding(path, lineno, col, rule_obj.rule_id, message))
+    findings.sort(key=lambda f: (f.lineno, f.col, f.rule_id))
+    return findings
+
+
+def _select(selected):
+    if selected is None:
+        return list(_RULES.values())
+    chosen = []
+    for rule_id in selected:
+        if rule_id not in _RULES:
+            raise LintError("unknown lint rule %r (have %s)"
+                            % (rule_id, ", ".join(sorted(_RULES))))
+        chosen.append(_RULES[rule_id])
+    return chosen
+
+
+def iter_python_files(paths):
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__")
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise LintError("no such file or directory: %r" % (path,))
+
+
+def run_paths(paths, selected=None):
+    """Lint every Python file under ``paths``; returns all findings."""
+    findings = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(filename, source, selected=selected))
+    return findings
+
+
+def main(argv=None):
+    """CLI entry point; exit code 0 clean, 1 findings, 2 usage error."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static persistency/project lint over Python sources.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", action="append", metavar="RULE",
+                        help="run only this rule id (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule_obj in sorted(all_rules().items()):
+            print("%-18s %s" % (rule_id, rule_obj.summary))
+        return 0
+    try:
+        findings = run_paths(args.paths or ["src"], selected=args.select)
+    except LintError as exc:
+        print("lint: error: %s" % exc, file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print("lint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0

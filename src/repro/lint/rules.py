@@ -1,0 +1,156 @@
+"""The built-in rule catalogue.
+
+Each rule is a generator decorated with :func:`repro.lint.engine.rule`;
+it walks the file's AST (via :class:`~repro.lint.engine.LintContext`) and
+yields ``(lineno, col, message)`` for every violation. Location/module
+scoping lives here, suppression handling lives in the engine.
+"""
+
+import ast
+
+from repro.lint.engine import rule
+
+#: Builtins whose ``raise`` the project bans: callers must be able to
+#: catch ``ReproError`` and know they have a simulator failure, not a
+#: Python one. ``NotImplementedError`` (abstract methods) and
+#: ``StopIteration`` (protocol) stay legal.
+_BANNED_EXCEPTIONS = frozenset({
+    "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+    "RuntimeError", "IndexError", "IOError", "OSError", "ArithmeticError",
+    "AttributeError", "AssertionError", "LookupError", "NameError",
+    "ZeroDivisionError", "OverflowError", "BufferError",
+})
+
+#: Modules whose import makes a simulation non-reproducible: wall-clock
+#: time and ambient entropy. Simulated time comes from ``repro.sim.clock``
+#: and randomness from ``repro.sim.rng`` (seeded, replayable).
+_NONDET_MODULES = frozenset({"time", "random", "datetime", "secrets"})
+
+#: Files allowed to import the non-deterministic modules: the two
+#: wrappers that fence them off behind seeded/simulated interfaces.
+_NONDET_SANCTIONED = ("sim/rng.py", "sim/clock.py")
+
+#: Modules allowed to call ``*.write(...)`` on a PM device directly.
+#: Everything else must go through the cache hierarchy or a transaction
+#: accessor so write interposition (PaxSan, write-amp stats) sees it.
+_PM_WRITE_SANCTIONED = (
+    "pm/",
+    "mem/",
+    "faults/",
+    "core/writeback.py",
+    "core/recovery.py",
+    "core/replication.py",
+)
+
+#: Receiver names that identify a PM device in a ``.write()`` call.
+_DEVICE_NAMES = frozenset({"device", "pm", "media", "pm_device"})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+
+
+def _exception_name(node):
+    """Name of the exception a ``raise`` node raises, or None."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+@rule("typed-errors",
+      "raise ReproError subclasses, not bare builtin exceptions")
+def check_typed_errors(ctx):
+    """Flag ``raise ValueError(...)``-style raises of banned builtins.
+
+    Bare ``raise`` (re-raise) and exceptions outside the banned set —
+    project errors, ``NotImplementedError`` — pass.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        name = _exception_name(node)
+        if name in _BANNED_EXCEPTIONS:
+            yield (node.lineno, node.col_offset,
+                   "raise a repro.errors type instead of builtin %s" % name)
+
+
+@rule("pm-direct-write",
+      "only sanctioned modules may write the PM device directly")
+def check_pm_direct_write(ctx):
+    """Flag ``device.write(...)`` / ``self.pm.write(...)`` calls outside
+    the sanctioned module list.
+
+    A direct media write bypasses the cache hierarchy, so the coherence
+    model, the write-amplification stats, and PaxSan all lose sight of
+    it — exactly the interposition argument the paper builds on.
+    """
+    if ctx.in_package(*_PM_WRITE_SANCTIONED):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "write":
+            continue
+        receiver = func.value
+        if isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        else:
+            continue
+        if receiver_name in _DEVICE_NAMES:
+            yield (node.lineno, node.col_offset,
+                   "direct PM write via %r bypasses the hierarchy; go "
+                   "through stores or an accessor" % receiver_name)
+
+
+@rule("sim-determinism",
+      "no wall-clock or ambient randomness outside sim.clock / sim.rng")
+def check_sim_determinism(ctx):
+    """Flag imports of time/random/datetime/secrets outside the two
+    sanctioned wrapper modules.
+
+    Results must replay bit-for-bit from a seed; ambient time or entropy
+    anywhere else silently breaks that.
+    """
+    if ctx.in_package(*_NONDET_SANCTIONED):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _NONDET_MODULES:
+                    yield (node.lineno, node.col_offset,
+                           "import of %r breaks determinism; use sim.clock"
+                           " / sim.rng" % alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            root = (node.module or "").split(".")[0]
+            if root in _NONDET_MODULES:
+                yield (node.lineno, node.col_offset,
+                       "import from %r breaks determinism; use sim.clock"
+                       " / sim.rng" % node.module)
+
+
+@rule("mutable-default",
+      "no mutable default arguments")
+def check_mutable_default(ctx):
+    """Flag list/dict/set literals (and their constructors) used as
+    parameter defaults — they are shared across calls."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            bad = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set"))
+            if bad:
+                yield (default.lineno, default.col_offset,
+                       "mutable default argument is shared across calls; "
+                       "default to None")

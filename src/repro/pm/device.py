@@ -32,11 +32,16 @@ class PmDevice(MemoryDevice):
         #: wears out per write; schemes that concentrate writes (WAL
         #: regions) create hotspots this dict makes measurable.
         self.line_wear = {}
+        #: Optional tracer told about every media write (PaxSan's
+        #: write-back gate check lives behind this hook).
+        self.tracer = None
         if backing_path is not None and os.path.exists(backing_path):
             self._load()
 
     def write(self, offset, data):
         data = bytes(data)
+        if self.tracer is not None:
+            self.tracer.on_pm_write(offset, len(data))
         # Account media write amplification in cache-line units: the DIMM
         # internally writes whole lines (Optane actually uses 256 B blocks;
         # we use the coherence granularity, which is what the paper's

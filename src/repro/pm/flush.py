@@ -19,6 +19,8 @@ class FlushModel:
     def __init__(self, clock, latency_model):
         self._clock = clock
         self._lat = latency_model
+        #: Optional tracer told about flushes and fences (WalSan).
+        self.tracer = None
         self.stats = StatGroup("flush")
 
     def clwb(self, addr, length):
@@ -32,6 +34,8 @@ class FlushModel:
             return 0.0
         cost = len(lines) * self._lat.software.clwb_ns
         self.stats.counter("clwb_lines").add(len(lines))
+        if self.tracer is not None:
+            self.tracer.on_clwb(addr, len(lines))
         self._clock.advance(cost)
         return cost
 
@@ -39,6 +43,8 @@ class FlushModel:
         """Order prior write-backs; stall until they reach the ADR domain."""
         cost = self._lat.software.sfence_ns + self._lat.media.pm_write_ns
         self.stats.counter("sfences").add(1)
+        if self.tracer is not None:
+            self.tracer.on_fence()
         self._clock.advance(cost)
         return cost
 

@@ -92,6 +92,8 @@ class Pool:
         self.log_size = log_size
         self.data_base = data_base
         self.data_size = data_size
+        #: Optional tracer told when the epoch record advances.
+        self.tracer = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -201,6 +203,8 @@ class Pool:
         if epoch <= current:
             raise PoolError(
                 "epoch commit must advance: %d -> %d" % (current, epoch))
+        if self.tracer is not None:
+            self.tracer.on_epoch_commit(epoch)
         self.device.write(EPOCH_SLOT_OFFSETS[epoch % 2],
                           encode_epoch_record(epoch))
 

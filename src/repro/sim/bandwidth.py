@@ -13,7 +13,7 @@ simple fluid model: the medium drains at ``bytes_per_second``; a transfer
 arriving while backlog exists waits for its share of the backlog to drain.
 """
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.util.stats import StatGroup
 
 
@@ -29,7 +29,7 @@ class BandwidthMeter:
     def record(self, num_bytes):
         """Account ``num_bytes`` moved at the current simulated time."""
         if num_bytes < 0:
-            raise ValueError("cannot transfer negative bytes")
+            raise SimulationError("cannot transfer negative bytes")
         self.stats.counter("bytes").add(num_bytes)
         self.stats.counter("transfers").add(1)
 
@@ -75,7 +75,7 @@ class BandwidthLimiter:
     def submit(self, num_bytes):
         """Queue a transfer; return queueing delay in nanoseconds."""
         if num_bytes < 0:
-            raise ValueError("cannot transfer negative bytes")
+            raise SimulationError("cannot transfer negative bytes")
         self._drain()
         delay_ns = self._backlog_bytes * 1e9 / self._rate
         self._backlog_bytes += num_bytes

@@ -6,7 +6,7 @@ deterministic and lets the crash injector cut execution at an exact
 simulated instant. The clock only moves forward.
 """
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 
 
 class SimClock:
@@ -35,7 +35,8 @@ class SimClock:
     def advance(self, delta_ns):
         """Move time forward by ``delta_ns`` and run background callbacks."""
         if delta_ns < 0:
-            raise ValueError("time cannot move backwards (delta=%r)" % (delta_ns,))
+            raise SimulationError(
+                "time cannot move backwards (delta=%r)" % (delta_ns,))
         if delta_ns == 0:
             return self._now_ns
         previous = self._now_ns
@@ -81,7 +82,7 @@ class StopWatch:
     def stop(self):
         """Stop timing and return the elapsed nanoseconds."""
         if self._start_ns is None:
-            raise ValueError("stopwatch was never started")
+            raise SimulationError("stopwatch was never started")
         self.elapsed_ns = self._clock.now_ns - self._start_ns
         self._start_ns = None
         return self.elapsed_ns

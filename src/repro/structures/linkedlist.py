@@ -11,7 +11,7 @@ Layout::
     node:   value | prev | next
 """
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StructureError
 from repro.mem.layout import StructLayout
 from repro.util.constants import NULL_ADDR
 
@@ -96,7 +96,7 @@ class PersistentList:
         """Remove and return the first value."""
         head = self._hdr.get("head")
         if head == NULL_ADDR:
-            raise IndexError("pop from empty list")
+            raise StructureError("pop from empty list")
         view = _NODE.view(self._mem, head)
         value = view.get("value")
         next_node = view.get("next")
@@ -113,7 +113,7 @@ class PersistentList:
         """Remove and return the last value."""
         tail = self._hdr.get("tail")
         if tail == NULL_ADDR:
-            raise IndexError("pop from empty list")
+            raise StructureError("pop from empty list")
         view = _NODE.view(self._mem, tail)
         value = view.get("value")
         prev_node = view.get("prev")

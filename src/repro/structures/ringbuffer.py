@@ -16,7 +16,7 @@ Layout::
 ``counter % capacity``. Empty: head == tail. Full: tail - head == capacity.
 """
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StructureError
 from repro.mem.layout import StructLayout
 from repro.util.constants import WORD_SIZE
 
@@ -85,20 +85,20 @@ class RingBuffer:
         return len(self) >= self.capacity
 
     def enqueue(self, value):
-        """Append ``value``; raises IndexError when full."""
+        """Append ``value``; raises StructureError when full."""
         tail = self._hdr.get("tail")
         if tail - self._hdr.get("head") >= self.capacity:
-            raise IndexError("ring buffer full")
+            raise StructureError("ring buffer full")
         # Slot first, then the tail bump publishes it — the order that
         # makes a torn enqueue invisible rather than garbage-visible.
         self._mem.write_u64(self._slot_addr(tail), value)
         self._hdr.set("tail", tail + 1)
 
     def dequeue(self):
-        """Pop the oldest value; raises IndexError when empty."""
+        """Pop the oldest value; raises StructureError when empty."""
         head = self._hdr.get("head")
         if self._hdr.get("tail") == head:
-            raise IndexError("ring buffer empty")
+            raise StructureError("ring buffer empty")
         value = self._mem.read_u64(self._slot_addr(head))
         self._hdr.set("head", head + 1)
         return value
@@ -107,7 +107,7 @@ class RingBuffer:
         """Oldest value without removing it."""
         head = self._hdr.get("head")
         if self._hdr.get("tail") == head:
-            raise IndexError("ring buffer empty")
+            raise StructureError("ring buffer empty")
         return self._mem.read_u64(self._slot_addr(head))
 
     def __iter__(self):

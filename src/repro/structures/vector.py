@@ -10,7 +10,7 @@ Layout::
     data:   capacity contiguous u64 elements
 """
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StructureError
 from repro.mem.layout import StructLayout
 from repro.util.constants import WORD_SIZE
 
@@ -58,7 +58,7 @@ class PersistentVector:
     def _element_addr(self, index):
         length = self._hdr.get("length")
         if not 0 <= index < length:
-            raise IndexError("index %d out of range (len=%d)" % (index, length))
+            raise StructureError("index %d out of range (len=%d)" % (index, length))
         return self._hdr.get("data") + index * WORD_SIZE
 
     def __len__(self):
@@ -83,7 +83,7 @@ class PersistentVector:
         """Remove and return the last element."""
         length = self._hdr.get("length")
         if length == 0:
-            raise IndexError("pop from empty vector")
+            raise StructureError("pop from empty vector")
         value = self._mem.read_u64(self._hdr.get("data")
                                    + (length - 1) * WORD_SIZE)
         self._hdr.set("length", length - 1)

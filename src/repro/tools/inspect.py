@@ -133,6 +133,23 @@ def format_report(info):
     return "\n".join(lines)
 
 
+def format_machine(machine):
+    """Live-machine report: the analysis dump plus sanitizer state.
+
+    Combines :func:`repro.analysis.machine_report.machine_report` with
+    the attached sanitizer's ``describe()`` output when ``machine`` has a
+    tracer that knows how to describe itself (e.g.
+    :class:`~repro.sanitizer.PaxSanitizer`). Unlike :func:`format_report`
+    this needs a running machine, not a pool file.
+    """
+    from repro.analysis.machine_report import machine_report
+    parts = [machine_report(machine)]
+    tracer = getattr(machine, "tracer", None)
+    if tracer is not None and hasattr(tracer, "describe"):
+        parts.append(tracer.describe())
+    return "\n\n".join(parts)
+
+
 def main(argv=None):
     """CLI entry point."""
     argv = argv if argv is not None else sys.argv[1:]

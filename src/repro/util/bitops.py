@@ -5,27 +5,28 @@ pages. The helpers here centralize that arithmetic so off-by-one errors
 live in exactly one place.
 """
 
+from repro.errors import AddressError
 from repro.util.constants import CACHE_LINE_SIZE, PAGE_SIZE, is_power_of_two
 
 
 def align_down(value, alignment):
     """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
     if not is_power_of_two(alignment):
-        raise ValueError("alignment must be a power of two, got %r" % (alignment,))
+        raise AddressError("alignment must be a power of two, got %r" % (alignment,))
     return value & ~(alignment - 1)
 
 
 def align_up(value, alignment):
     """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
     if not is_power_of_two(alignment):
-        raise ValueError("alignment must be a power of two, got %r" % (alignment,))
+        raise AddressError("alignment must be a power of two, got %r" % (alignment,))
     return (value + alignment - 1) & ~(alignment - 1)
 
 
 def is_aligned(value, alignment):
     """Return True if ``value`` is a multiple of ``alignment``."""
     if not is_power_of_two(alignment):
-        raise ValueError("alignment must be a power of two, got %r" % (alignment,))
+        raise AddressError("alignment must be a power of two, got %r" % (alignment,))
     return (value & (alignment - 1)) == 0
 
 
@@ -60,7 +61,7 @@ def split_lines(addr, size):
     [(0, 60, 4), (64, 0, 4)]
     """
     if size < 0:
-        raise ValueError("size must be non-negative, got %d" % size)
+        raise AddressError("size must be non-negative, got %d" % size)
     end = addr + size
     cursor = addr
     while cursor < end:
@@ -74,7 +75,7 @@ def split_lines(addr, size):
 def split_pages(addr, size):
     """Split ``[addr, addr+size)`` into per-page ``(page_base, off, len)``."""
     if size < 0:
-        raise ValueError("size must be non-negative, got %d" % size)
+        raise AddressError("size must be non-negative, got %d" % size)
     end = addr + size
     cursor = addr
     while cursor < end:

@@ -8,6 +8,8 @@ interface.
 
 import math
 
+from repro.errors import StatsError
+
 
 class Counter:
     """A monotonically increasing named counter."""
@@ -21,7 +23,7 @@ class Counter:
     def add(self, amount=1):
         """Increment by ``amount`` (must be non-negative)."""
         if amount < 0:
-            raise ValueError("counter %s cannot decrease" % self.name)
+            raise StatsError("counter %s cannot decrease" % self.name)
         self.value += amount
 
     def reset(self):

@@ -7,7 +7,7 @@ from repro.analysis.report import Table, format_bytes, format_ns
 from repro.analysis.throughput import ScalingModel, SingleThreadProfile
 from repro.analysis.writeamp import WriteAmpReport
 from repro.cache.stats import MissRates
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StatsError
 from repro.sim.latency import default_model
 
 
@@ -254,7 +254,7 @@ class TestReportFormatting:
 
     def test_row_arity_checked(self):
         table = Table("demo", ["a", "b"])
-        with pytest.raises(ValueError):
+        with pytest.raises(StatsError):
             table.add_row("only-one")
 
     def test_format_ns(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines import make_backend
+from repro.errors import ConfigError
 from tests.conftest import small_cache_kwargs
 
 ALL_BACKENDS = ["dram", "pm_direct", "pmdk", "redo", "compiler",
@@ -131,7 +132,7 @@ class TestSchemeSpecific:
         assert len(backend) == 0
 
     def test_make_backend_unknown(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             make_backend("optane")
 
     def test_redo_reads_own_writes_in_tx(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cache.cache import CacheConfig, SetAssociativeCache
 from repro.cache.line import CacheLine
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ProtocolError
 from repro.util.constants import CACHE_LINE_SIZE
 
 
@@ -110,7 +110,7 @@ class TestCacheLine:
         assert cache_line.read(4, 2) == b"zz"
 
     def test_wrong_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ProtocolError):
             CacheLine(0, b"short")
 
     def test_snapshot_is_immutable_copy(self):

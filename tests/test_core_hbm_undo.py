@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import PaxConfig
 from repro.core.hbm import HbmCache
 from repro.core.undo import UndoLogger
-from repro.errors import LogError
+from repro.errors import LogError, ProtocolError
 from repro.pm.device import PmDevice
 from repro.pm.log import ENTRY_SIZE, UndoLogRegion
 
@@ -53,7 +53,7 @@ class TestHbm:
         assert len(hbm) == 0
 
     def test_wrong_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ProtocolError):
             HbmCache(4).put(0x40, b"short")
 
     def test_hit_stats(self):

@@ -1,0 +1,178 @@
+"""The project linter: each rule's positive/negative fixtures, the
+suppression syntax, module sanctioning, the CLI, and — the point of the
+whole exercise — that the real source tree lints clean."""
+
+import os
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import all_rules, lint_source, main, run_paths
+
+import repro
+
+SRC_REPRO = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def findings_for(source, path="fixture.py", selected=None):
+    """Lint a source string and return ``[(rule_id, lineno), ...]``."""
+    return [(f.rule_id, f.lineno)
+            for f in lint_source(path, source, selected=selected)]
+
+
+# -- typed-errors -----------------------------------------------------------
+
+def test_typed_errors_flags_banned_builtins():
+    source = (
+        "def f():\n"
+        "    raise ValueError('nope')\n"
+        "def g():\n"
+        "    raise RuntimeError\n"
+    )
+    found = findings_for(source, selected=["typed-errors"])
+    assert found == [("typed-errors", 2), ("typed-errors", 4)]
+
+
+def test_typed_errors_allows_project_and_protocol_exceptions():
+    source = (
+        "from repro.errors import LogError\n"
+        "def f():\n"
+        "    raise LogError('typed')\n"
+        "def g():\n"
+        "    raise NotImplementedError\n"
+        "def h():\n"
+        "    try:\n"
+        "        f()\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    assert findings_for(source, selected=["typed-errors"]) == []
+
+
+# -- pm-direct-write --------------------------------------------------------
+
+def test_pm_direct_write_flags_device_writes():
+    source = (
+        "def f(device, self):\n"
+        "    device.write(0, b'x')\n"
+        "    self.pm.write(64, b'y')\n"
+    )
+    found = findings_for(source, path="src/repro/structures/bad.py",
+                         selected=["pm-direct-write"])
+    assert found == [("pm-direct-write", 2), ("pm-direct-write", 3)]
+
+
+def test_pm_direct_write_sanctioned_modules_are_exempt():
+    source = "def f(device):\n    device.write(0, b'x')\n"
+    for sanctioned in ("src/repro/pm/device.py",
+                       "src/repro/core/writeback.py",
+                       "src/repro/faults/device.py"):
+        assert findings_for(source, path=sanctioned,
+                            selected=["pm-direct-write"]) == []
+
+
+def test_pm_direct_write_ignores_other_receivers():
+    source = "def f(handle):\n    handle.write(b'x')\n"
+    assert findings_for(source, selected=["pm-direct-write"]) == []
+
+
+# -- sim-determinism --------------------------------------------------------
+
+def test_sim_determinism_flags_nondeterministic_imports():
+    source = "import random\nfrom time import sleep\n"
+    found = findings_for(source, path="src/repro/structures/bad.py",
+                         selected=["sim-determinism"])
+    assert found == [("sim-determinism", 1), ("sim-determinism", 2)]
+
+
+def test_sim_determinism_sanctions_the_wrapper_modules():
+    source = "import random\n"
+    assert findings_for(source, path="src/repro/sim/rng.py",
+                        selected=["sim-determinism"]) == []
+    assert findings_for(source, path="src/repro/sim/clock.py",
+                        selected=["sim-determinism"]) == []
+
+
+# -- mutable-default --------------------------------------------------------
+
+def test_mutable_default_flags_literals_and_constructors():
+    source = (
+        "def f(x=[]):\n"
+        "    return x\n"
+        "def g(*, y=dict()):\n"
+        "    return y\n"
+    )
+    found = findings_for(source, selected=["mutable-default"])
+    assert [rule_id for rule_id, _ in found] == ["mutable-default",
+                                                 "mutable-default"]
+
+
+def test_mutable_default_allows_none_and_immutables():
+    source = "def f(x=None, y=0, z=()):\n    return x, y, z\n"
+    assert findings_for(source, selected=["mutable-default"]) == []
+
+
+# -- engine behaviour -------------------------------------------------------
+
+def test_suppression_bare_and_per_rule():
+    flagged = "def f():\n    raise ValueError('x')\n"
+    bare = "def f():\n    raise ValueError('x')  # lint: ignore\n"
+    scoped = "def f():\n    raise ValueError('x')  # lint: ignore[typed-errors]\n"
+    multi = ("def f():\n"
+             "    raise ValueError('x')  "
+             "# lint: ignore[pm-direct-write, typed-errors]\n")
+    wrong = ("def f():\n"
+             "    raise ValueError('x')  # lint: ignore[mutable-default]\n")
+    assert findings_for(flagged) == [("typed-errors", 2)]
+    assert findings_for(bare) == []
+    assert findings_for(scoped) == []
+    assert findings_for(multi) == []
+    assert findings_for(wrong) == [("typed-errors", 2)]
+
+
+def test_parse_error_is_a_finding_not_an_exception():
+    found = findings_for("def f(:\n")
+    assert len(found) == 1
+    assert found[0][0] == "parse-error"
+
+
+def test_unknown_selected_rule_raises_lint_error():
+    with pytest.raises(LintError):
+        lint_source("x.py", "pass\n", selected=["no-such-rule"])
+
+
+def test_rule_catalogue_is_registered():
+    rules = all_rules()
+    assert {"typed-errors", "pm-direct-write", "sim-determinism",
+            "mutable-default"} <= set(rules)
+    for rule_obj in rules.values():
+        assert rule_obj.summary
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x=None):\n    return x\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f():\n    raise ValueError('x')\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "dirty.py:2:" in out and "typed-errors" in out
+    assert main(["--select", "no-such-rule", str(clean)]) == 2
+    assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "typed-errors" in out and "pm-direct-write" in out
+
+
+# -- the tree itself --------------------------------------------------------
+
+def test_real_source_tree_is_clean():
+    findings = run_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.render() for f in findings)

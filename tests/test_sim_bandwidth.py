@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.bandwidth import BandwidthLimiter, BandwidthMeter
 from repro.sim.clock import SimClock
 
@@ -27,7 +27,7 @@ class TestMeter:
         assert meter.achieved_bps() == 0.0
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             BandwidthMeter("m", SimClock()).record(-1)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.clock import SimClock, StopWatch
 
 
@@ -24,7 +24,7 @@ class TestSimClock:
         assert clock.now_ns == pytest.approx(15.5)
 
     def test_backwards_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             SimClock().advance(-1)
 
     def test_zero_advance_is_noop(self):
@@ -81,5 +81,5 @@ class TestStopWatch:
         assert watch.elapsed_ns == 7
 
     def test_stop_without_start(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             StopWatch(SimClock()).stop()

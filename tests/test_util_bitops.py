@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import AddressError
 from repro.util.bitops import (
     align_down,
     align_up,
@@ -35,11 +36,11 @@ class TestAlignment:
         assert not is_aligned(129, 64)
 
     def test_non_power_of_two_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AddressError):
             align_down(10, 48)
-        with pytest.raises(ValueError):
+        with pytest.raises(AddressError):
             align_up(10, 3)
-        with pytest.raises(ValueError):
+        with pytest.raises(AddressError):
             is_aligned(10, 0)
 
     @given(st.integers(min_value=0, max_value=1 << 48),
@@ -80,7 +81,7 @@ class TestSplitting:
         assert list(split_lines(100, 0)) == []
 
     def test_split_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AddressError):
             list(split_lines(0, -1))
 
     def test_lines_covering(self):

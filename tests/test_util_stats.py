@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import StatsError
 from repro.util.stats import Counter, Histogram, StatGroup, ratio
 
 
@@ -13,7 +14,7 @@ class TestCounter:
         assert counter.value == 5
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(StatsError):
             Counter("x").add(-1)
 
     def test_reset(self):
