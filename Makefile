@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest lint fuzz fuzz-smoke clean
+.PHONY: install test bench examples quicktest lint fuzz fuzz-smoke \
+	perfbench perfbench-compare clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +39,17 @@ fuzz:
 
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 50 --seed 7 --progress 0 $(FUZZ_FLAGS)
+
+# Wall-clock performance of the simulator itself (not simulated time);
+# see docs/performance.md. `perfbench` regenerates the committed
+# baseline BENCH_PR3.json; `perfbench-compare` grades a fresh run
+# against it and fails on >30% throughput regression or any simulated-
+# time drift.
+perfbench:
+	PYTHONPATH=src $(PYTHON) -m repro.perfbench --out BENCH_PR3.json
+
+perfbench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.perfbench --out /tmp/perfbench-current.json --compare BENCH_PR3.json
 
 examples:
 	@for script in examples/*.py; do \

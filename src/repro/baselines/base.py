@@ -90,6 +90,10 @@ class StructureBackend(KvBackend):
     def __init__(self):
         super().__init__()
         self._map = None
+        # Per-operation counters bound once (hot-path-stat-lookup rule).
+        self._c_puts = self.stats.counter("puts")
+        self._c_gets = self.stats.counter("gets")
+        self._c_removes = self.stats.counter("removes")
 
     def _bind_structure(self, mem, allocator, capacity=1024):
         self._map = HashMap.create(mem, allocator, capacity=capacity)
@@ -98,15 +102,15 @@ class StructureBackend(KvBackend):
         self._map = HashMap.attach(mem, allocator, root)
 
     def put(self, key, value):
-        self.stats.counter("puts").add(1)
+        self._c_puts.value += 1
         return self._map.put(key, value)
 
     def get(self, key, default=None):
-        self.stats.counter("gets").add(1)
+        self._c_gets.value += 1
         return self._map.get(key, default)
 
     def remove(self, key):
-        self.stats.counter("removes").add(1)
+        self._c_removes.value += 1
         return self._map.remove(key)
 
     def __len__(self):

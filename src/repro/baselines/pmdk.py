@@ -168,15 +168,15 @@ class PmdkBackend(StructureBackend):
         return result
 
     def put(self, key, value):
-        self.stats.counter("puts").add(1)
+        self._c_puts.value += 1
         return self._run_tx(lambda: self._map.put(key, value))
 
     def remove(self, key):
-        self.stats.counter("removes").add(1)
+        self._c_removes.value += 1
         return self._run_tx(lambda: self._map.remove(key))
 
     def get(self, key, default=None):
-        self.stats.counter("gets").add(1)
+        self._c_gets.value += 1
         return self._map.get(key, default)
 
     def persist(self):

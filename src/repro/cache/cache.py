@@ -14,6 +14,9 @@ from repro.errors import ConfigError
 from repro.util.constants import CACHE_LINE_SIZE, is_power_of_two
 from repro.util.stats import StatGroup
 
+#: log2(line size), hoisted so set indexing is a shift, not a division.
+_LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
+
 
 @dataclass
 class CacheConfig:
@@ -50,25 +53,32 @@ class SetAssociativeCache:
         self.ways = config.ways
         self._sets = [dict() for _ in range(self.num_sets)]
         self._policies = [make_policy(config.policy) for _ in range(self.num_sets)]
+        self._set_mask = self.num_sets - 1
         self.stats = StatGroup(name)
+        # Per-access counters bound once (hot-path-stat-lookup rule).
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_evictions = self.stats.counter("evictions")
+        self._c_invalidations = self.stats.counter("invalidations")
 
     def _index(self, line_addr):
-        return (line_addr // CACHE_LINE_SIZE) & (self.num_sets - 1)
+        return (line_addr >> _LINE_SHIFT) & self._set_mask
 
     def lookup(self, line_addr):
         """Return the resident line (refreshing recency) or None."""
-        index = self._index(line_addr)
+        index = (line_addr >> _LINE_SHIFT) & self._set_mask
         line = self._sets[index].get(line_addr)
         if line is not None:
             self._policies[index].on_access(line_addr)
-            self.stats.counter("hits").add(1)
+            self._c_hits.value += 1
         else:
-            self.stats.counter("misses").add(1)
+            self._c_misses.value += 1
         return line
 
     def peek(self, line_addr):
         """Return the resident line without touching recency or stats."""
-        return self._sets[self._index(line_addr)].get(line_addr)
+        return self._sets[(line_addr >> _LINE_SHIFT) & self._set_mask] \
+            .get(line_addr)
 
     def insert(self, line):
         """Insert ``line``; return the evicted victim line or None.
@@ -77,7 +87,7 @@ class SetAssociativeCache:
         place (data merged by the caller beforehand) and nothing is
         evicted.
         """
-        index = self._index(line.addr)
+        index = (line.addr >> _LINE_SHIFT) & self._set_mask
         bucket = self._sets[index]
         policy = self._policies[index]
         victim = None
@@ -88,18 +98,18 @@ class SetAssociativeCache:
                 victim_addr = policy.victim()
                 victim = bucket.pop(victim_addr)
                 policy.on_remove(victim_addr)
-                self.stats.counter("evictions").add(1)
+                self._c_evictions.add(1)
             policy.on_insert(line.addr)
         bucket[line.addr] = line
         return victim
 
     def remove(self, line_addr):
         """Remove and return the line (None if absent)."""
-        index = self._index(line_addr)
+        index = (line_addr >> _LINE_SHIFT) & self._set_mask
         line = self._sets[index].pop(line_addr, None)
         if line is not None:
             self._policies[index].on_remove(line_addr)
-            self.stats.counter("invalidations").add(1)
+            self._c_invalidations.add(1)
         return line
 
     def clear(self):

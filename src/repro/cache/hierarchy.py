@@ -30,7 +30,20 @@ from repro.cache.cache import CacheConfig, SetAssociativeCache
 from repro.cache.line import CacheLine, MesiState
 from repro.errors import AddressError, ProtocolError
 from repro.util.bitops import split_lines
+from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.fastpath import fast_path_enabled
 from repro.util.stats import StatGroup
+
+#: Offset-within-line mask, hoisted for the single-line fast path.
+_LINE_MASK = CACHE_LINE_SIZE - 1
+
+#: MESI states bound to module globals: the per-access walk compares
+#: against these a handful of times per event, and a global load is
+#: cheaper than two attribute hops.
+_INVALID = MesiState.INVALID
+_SHARED = MesiState.SHARED
+_EXCLUSIVE = MesiState.EXCLUSIVE
+_MODIFIED = MesiState.MODIFIED
 
 
 class _Core:
@@ -75,11 +88,49 @@ class CacheHierarchy:
         self._llc = SetAssociativeCache("llc", llc_config or default_llc_config())
         from repro.cache.coherence import Directory
         self._dir = Directory()
+        # Direct reference to the directory's entry dict: the per-access
+        # walk reads coherence state once per event, and going through
+        # Directory.state() costs a method call plus a second dict probe.
+        # The dict identity is stable (Directory.clear() empties in place).
+        self._dir_entries = self._dir._entries
         self._homes = []
+        #: line_addr -> home memo over the sorted range list; rebuilt
+        #: lazily and invalidated by :meth:`add_home`.
+        self._home_map = {}
         #: Optional :class:`~repro.sanitizer.base.Tracer` notified of
         #: every store (machines re-propagate it across restart()).
         self.tracer = None
         self.stats = StatGroup("hierarchy")
+        # Hot counters/histograms bound once so no string-keyed lookup
+        # happens per access (see the hot-path-stat-lookup lint rule).
+        stats = self.stats
+        self._c_loads = stats.counter("loads")
+        self._c_stores = stats.counter("stores")
+        self._c_l1_hits = stats.counter("l1_hits")
+        self._c_l2_hits = stats.counter("l2_hits")
+        self._c_llc_hits = stats.counter("llc_hits")
+        self._c_memory_fetches = stats.counter("memory_fetches")
+        self._c_cross_core = stats.counter("cross_core_transfers")
+        self._c_sharer_forwards = stats.counter("sharer_forwards")
+        self._c_upgrades = stats.counter("upgrades")
+        self._c_inval_snoops = stats.counter("invalidation_snoops")
+        self._c_l1_evictions = stats.counter("l1_evictions")
+        self._c_l2_evictions = stats.counter("l2_evictions")
+        self._c_llc_writebacks = stats.counter("llc_writebacks")
+        self._c_clwb_writebacks = stats.counter("clwb_writebacks")
+        self._c_snoop_shared = stats.counter("snoop_shared")
+        self._c_snoop_invalidate = stats.counter("snoop_invalidate")
+        self._h_access_ns = stats.histogram("access_ns")
+        cache_lat = self._lat.cache
+        self._l1_ns = cache_lat.l1_ns
+        self._l2_ns = cache_lat.l2_ns
+        self._llc_ns = cache_lat.llc_ns
+        self._cross_core_ns = cache_lat.cross_core_ns
+        # Bound methods for the per-access epilogue (histogram sample +
+        # clock charge); both targets are fixed for the hierarchy's life.
+        self._record_access = self._h_access_ns.record
+        self._advance = clock.advance
+        self._fast = fast_path_enabled()
 
     # -- configuration ------------------------------------------------------
 
@@ -87,11 +138,21 @@ class CacheHierarchy:
         """Register ``home`` as owning physical range ``[base, base+size)``."""
         self._homes.append((base, base + size, home))
         self._homes.sort(key=lambda item: item[0])
+        self._home_map.clear()
 
     def home_for(self, line_addr):
-        """Return the home owning ``line_addr``."""
+        """Return the home owning ``line_addr``.
+
+        Memoized per line address: the miss path asks for the same few
+        hundred thousand lines over and over, and the linear range scan
+        only needs to run once per line.
+        """
+        home = self._home_map.get(line_addr)
+        if home is not None:
+            return home
         for base, end, home in self._homes:
             if base <= line_addr < end:
+                self._home_map[line_addr] = home
                 return home
         raise AddressError("no home for address 0x%x" % line_addr)
 
@@ -99,7 +160,13 @@ class CacheHierarchy:
 
     def load(self, core_id, addr, size):
         """Perform a load of ``size`` bytes at ``addr`` from ``core_id``."""
-        self.stats.counter("loads").add(1)
+        self._c_loads.value += 1
+        if self._fast and 0 < size:
+            offset = addr & _LINE_MASK
+            if offset + size <= CACHE_LINE_SIZE:
+                # Single-line fast path: no generator, no join buffer.
+                line = self._access_line(core_id, addr - offset, False)
+                return line.read(offset, size)
         out = bytearray()
         for base, offset, length in split_lines(addr, size):
             line = self._access_line(core_id, base, exclusive=False)
@@ -109,9 +176,19 @@ class CacheHierarchy:
     def store(self, core_id, addr, data):
         """Perform a store of ``data`` at ``addr`` from ``core_id``."""
         data = bytes(data)
-        self.stats.counter("stores").add(1)
+        self._c_stores.value += 1
+        size = len(data)
+        if self._fast and 0 < size:
+            offset = addr & _LINE_MASK
+            if offset + size <= CACHE_LINE_SIZE:
+                base = addr - offset
+                line = self._access_line(core_id, base, True)
+                line.write(offset, data)
+                if self.tracer is not None:
+                    self.tracer.on_store(base)
+                return
         cursor = 0
-        for base, offset, length in split_lines(addr, len(data)):
+        for base, offset, length in split_lines(addr, size):
             line = self._access_line(core_id, base, exclusive=True)
             line.write(offset, data[cursor:cursor + length])
             cursor += length
@@ -122,33 +199,36 @@ class CacheHierarchy:
 
     def _access_line(self, core_id, line_addr, exclusive):
         core = self._cores[core_id]
-        state = self._dir.state(line_addr, core_id)
-        if state != MesiState.INVALID:
+        entry = self._dir_entries.get(line_addr)
+        state = _INVALID if entry is None \
+            else entry.states.get(core_id, _INVALID)
+        if state != _INVALID:
             return self._hit_path(core, line_addr, state, exclusive)
         return self._miss_path(core, line_addr, exclusive)
 
     def _hit_path(self, core, line_addr, state, exclusive):
         """The line is already in this core's private caches."""
-        latency = 0.0
         line = core.l1.lookup(line_addr)
         if line is not None:
-            latency += self._lat.cache.l1_ns
-            self.stats.counter("l1_hits").add(1)
+            latency = self._l1_ns
+            self._c_l1_hits.value += 1
         else:
             line = core.l2.lookup(line_addr)
             if line is None:
                 raise ProtocolError(
                     "directory says core %d holds 0x%x but L2 lost it"
                     % (core.core_id, line_addr))
-            latency += self._lat.cache.l2_ns
-            self.stats.counter("l2_hits").add(1)
+            latency = self._l2_ns
+            self._c_l2_hits.value += 1
             self._fill_l1(core, line)
         if exclusive:
-            if state == MesiState.SHARED:
+            if state == _SHARED:
                 latency += self._upgrade(core.core_id, line_addr)
-            elif state == MesiState.EXCLUSIVE:
-                self._dir.set_state(line_addr, core.core_id, MesiState.MODIFIED)
-        self._charge(latency)
+            elif state == _EXCLUSIVE:
+                self._dir.set_state(line_addr, core.core_id, _MODIFIED)
+        # _charge() inlined: this is the single hottest return path.
+        self._record_access(latency)
+        self._advance(latency)
         return line
 
     def _miss_path(self, core, line_addr, exclusive):
@@ -166,7 +246,7 @@ class CacheHierarchy:
             if exclusive:
                 # Any LLC copy is older than the stolen M data.
                 self._llc.remove(line_addr)
-            self.stats.counter("cross_core_transfers").add(1)
+            self._c_cross_core.add(1)
         elif sharers:
             # Cache-to-cache forward from a clean sharer: cheaper than a
             # home fetch, and for device-homed lines it spares a device
@@ -178,8 +258,8 @@ class CacheHierarchy:
                     "directory sharer %d lost line 0x%x"
                     % (sharers[0], line_addr))
             data = source.snapshot()
-            latency += self._lat.cache.cross_core_ns
-            self.stats.counter("sharer_forwards").add(1)
+            latency += self._cross_core_ns
+            self._c_sharer_forwards.add(1)
             if exclusive:
                 latency += self._invalidate_sharers(core.core_id, line_addr)
                 # As in _upgrade: a dirty LLC copy is superseded by the
@@ -198,8 +278,8 @@ class CacheHierarchy:
             llc_line = self._llc.lookup(line_addr)
             home = self.home_for(line_addr)
             if llc_line is not None:
-                latency += self._lat.cache.llc_ns
-                self.stats.counter("llc_hits").add(1)
+                latency += self._llc_ns
+                self._c_llc_hits.add(1)
                 data = llc_line.snapshot()
                 dirty = llc_line.dirty
                 if exclusive:
@@ -215,10 +295,10 @@ class CacheHierarchy:
                     line = CacheLine(line_addr, data, dirty=False)
                     new_state = MesiState.SHARED
             else:
-                latency += self._lat.cache.llc_ns   # LLC lookup that missed
+                latency += self._llc_ns   # LLC lookup that missed
                 data, home_ns = home.acquire(line_addr, exclusive, True)
                 latency += home_ns
-                self.stats.counter("memory_fetches").add(1)
+                self._c_memory_fetches.add(1)
                 line = CacheLine(line_addr, data, dirty=False)
                 if exclusive:
                     new_state = MesiState.MODIFIED
@@ -242,7 +322,7 @@ class CacheHierarchy:
         _none, home_ns = home.acquire(line_addr, True, False)
         latency += home_ns
         self._dir.set_state(line_addr, core_id, MesiState.MODIFIED)
-        self.stats.counter("upgrades").add(1)
+        self._c_upgrades.add(1)
         return latency
 
     def _invalidate_sharers(self, requester, line_addr):
@@ -255,8 +335,8 @@ class CacheHierarchy:
             other.l1.remove(line_addr)
             other.l2.remove(line_addr)
             self._dir.drop(line_addr, sharer)
-            latency += self._lat.cache.llc_ns   # snoop round through the LLC
-            self.stats.counter("invalidation_snoops").add(1)
+            latency += self._llc_ns   # snoop round through the LLC
+            self._c_inval_snoops.add(1)
         return latency
 
     def _pull_from_core(self, owner_id, line_addr, invalidate):
@@ -268,7 +348,7 @@ class CacheHierarchy:
                 "directory owner %d lost line 0x%x" % (owner_id, line_addr))
         data = line.snapshot()
         dirty = line.dirty
-        extra = self._lat.cache.cross_core_ns
+        extra = self._cross_core_ns
         if invalidate:
             owner.l1.remove(line_addr)
             owner.l2.remove(line_addr)
@@ -301,13 +381,13 @@ class CacheHierarchy:
             if core.l2.peek(victim.addr) is None:
                 raise ProtocolError(
                     "L1 victim 0x%x missing from inclusive L2" % victim.addr)
-            self.stats.counter("l1_evictions").add(1)
+            self._c_l1_evictions.add(1)
 
     def _evict_from_l2(self, core, victim):
         """An L2 victim leaves the core entirely (back-invalidates L1)."""
         core.l1.remove(victim.addr)
         self._dir.drop(victim.addr, core.core_id)
-        self.stats.counter("l2_evictions").add(1)
+        self._c_l2_evictions.add(1)
         if victim.dirty:
             return self._insert_llc(CacheLine(victim.addr, victim.data, dirty=True))
         return 0.0
@@ -323,7 +403,7 @@ class CacheHierarchy:
         if victim is not None and victim.dirty:
             home = self.home_for(victim.addr)
             latency = home.writeback(victim.addr, victim.snapshot())
-            self.stats.counter("llc_writebacks").add(1)
+            self._c_llc_writebacks.add(1)
             return latency
         return 0.0
 
@@ -341,7 +421,7 @@ class CacheHierarchy:
         obligation with it — the caller (the device) must get it to the
         home. All cached copies are left clean, so nothing else will.
         """
-        self.stats.counter("snoop_shared").add(1)
+        self._c_snoop_shared.add(1)
         fresh = None
         owner = self._dir.owner(line_addr)
         if owner is not None:
@@ -365,7 +445,7 @@ class CacheHierarchy:
 
     def snoop_invalidate(self, line_addr):
         """Remove every cached copy; return freshest dirty data (or None)."""
-        self.stats.counter("snoop_invalidate").add(1)
+        self._c_snoop_invalidate.add(1)
         fresh = None
         owner = self._dir.owner(line_addr)
         for sharer in list(self._dir.sharers(line_addr)):
@@ -396,14 +476,14 @@ class CacheHierarchy:
                 if llc_line is not None:
                     llc_line.data = bytearray(line.data)
                     llc_line.dirty = False
-                self.stats.counter("clwb_writebacks").add(1)
+                self._c_clwb_writebacks.add(1)
                 return True
         llc_line = self._llc.peek(line_addr)
         if llc_line is not None and llc_line.dirty:
             self._charge(self.home_for(line_addr).writeback(
                 line_addr, llc_line.snapshot()))
             llc_line.dirty = False
-            self.stats.counter("clwb_writebacks").add(1)
+            self._c_clwb_writebacks.add(1)
             return True
         return False
 
@@ -454,8 +534,8 @@ class CacheHierarchy:
     # -- bookkeeping ------------------------------------------------------------
 
     def _charge(self, latency_ns):
-        self.stats.histogram("access_ns").record(latency_ns)
-        self._clock.advance(latency_ns)
+        self._record_access(latency_ns)
+        self._advance(latency_ns)
 
     @property
     def directory(self):

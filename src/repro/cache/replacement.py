@@ -36,8 +36,12 @@ class LruPolicy(ReplacementPolicy):
         self._order = OrderedDict()
 
     def on_access(self, addr):
-        if addr in self._order:
+        # Hit path: the address is almost always present, so try/except
+        # beats a membership probe before every move_to_end.
+        try:
             self._order.move_to_end(addr)
+        except KeyError:
+            pass
 
     def on_insert(self, addr):
         self._order[addr] = True

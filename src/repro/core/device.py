@@ -52,7 +52,35 @@ class PaxDevice:
                                               self.config)
         from repro.core.pipeline import PersistPipeline
         self.pipeline = PersistPipeline(self)
+        # background_tick fires on every clock advance; bind its three
+        # targets once (the logger/coordinator/pipeline live as long as
+        # the device).
+        self._undo_drain = self.undo.drain_budget
+        self._wb_drain = self.writeback.drain_budget
+        self._pipeline_poll = self.pipeline.poll
         self.stats = StatGroup("pax_device")
+        # Per-message counters bound once (hot-path-stat-lookup rule).
+        stats = self.stats
+        self._c_rd_shared = stats.counter("rd_shared")
+        self._c_rd_own = stats.counter("rd_own")
+        self._c_dirty_evicts = stats.counter("dirty_evicts")
+        self._c_clean_evicts = stats.counter("clean_evicts")
+        self._c_mem_rd = stats.counter("mem_rd")
+        self._c_mem_wr = stats.counter("mem_wr")
+        self._c_lines_logged = stats.counter("lines_logged")
+        self._c_stalled_evicts = stats.counter("stalled_evicts")
+        self._c_buffer_serves = stats.counter("buffer_serves")
+        self._c_pm_line_reads = stats.counter("pm_line_reads")
+        # Exact-type dispatch table: cheaper than an isinstance chain,
+        # and the message classes are final by design.
+        self._handlers = {
+            msg.RdShared: self._rd_shared,
+            msg.RdOwn: self._rd_own,
+            msg.DirtyEvict: self._dirty_evict,
+            msg.CleanEvict: self._clean_evict,
+            msg.MemRd: self._mem_rd,
+            msg.MemWr: self._mem_wr,
+        }
 
     # -- address translation ---------------------------------------------------
 
@@ -77,20 +105,14 @@ class PaxDevice:
 
     def handle_message(self, message):
         """Service one host request; returns ``(response, service_ns)``."""
-        if isinstance(message, msg.RdShared):
-            return self._rd_shared(message)
-        if isinstance(message, msg.RdOwn):
-            return self._rd_own(message)
-        if isinstance(message, msg.DirtyEvict):
-            return self._dirty_evict(message)
-        if isinstance(message, msg.CleanEvict):
-            self.stats.counter("clean_evicts").add(1)
-            return msg.Go(message.addr), self.config.device_processing_ns
-        if isinstance(message, msg.MemRd):
-            return self._mem_rd(message)
-        if isinstance(message, msg.MemWr):
-            return self._mem_wr(message)
-        raise ProtocolError("PAX cannot handle %r" % (message,))
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise ProtocolError("PAX cannot handle %r" % (message,))
+        return handler(message)
+
+    def _clean_evict(self, message):
+        self._c_clean_evicts.add(1)
+        return msg.Go(message.addr), self.config.device_processing_ns
 
     # -- CXL.mem mode (paper §6: less coherence visibility) -----------------
 
@@ -99,7 +121,7 @@ class PaxDevice:
         pool_addr = self.to_pool(message.addr)
         data, media_ns = self._lookup_line(pool_addr)
         self.hbm.put(pool_addr, data)
-        self.stats.counter("mem_rd").add(1)
+        self._c_mem_rd.add(1)
         service = self.config.device_processing_ns + media_ns
         return msg.DataResponse(message.addr, data, "S"), service
 
@@ -113,17 +135,17 @@ class PaxDevice:
         first, and dedup keeps the original record).
         """
         pool_addr = self.to_pool(message.addr)
-        self.stats.counter("mem_wr").add(1)
+        self._c_mem_wr.add(1)
         if self.undo.seq_for(pool_addr) is None:
             old = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
             self.undo.note_modification(pool_addr, old)
-            self.stats.counter("lines_logged").add(1)
+            self._c_lines_logged.add(1)
         seq = self.undo.seq_for(pool_addr)
         pumped = self.writeback.buffer_line(pool_addr, message.data, seq)
         service = self.config.device_processing_ns
         if pumped:
             service += pumped * 1e9 / self.config.log_drain_bps
-            self.stats.counter("stalled_evicts").add(1)
+            self._c_stalled_evicts.add(1)
         return msg.Go(message.addr), service
 
     def persist_mem(self, clock=None):
@@ -154,26 +176,26 @@ class PaxDevice:
         """Newest device-visible value: buffer > HBM > PM. Returns (data, ns)."""
         data = self.writeback.peek(pool_addr)
         if data is not None:
-            self.stats.counter("buffer_serves").add(1)
+            self._c_buffer_serves.add(1)
             return data, 0.0
         data = self.hbm.get(pool_addr)
         if data is not None:
             return data, self._lat.media.hbm_ns
         data = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
-        self.stats.counter("pm_line_reads").add(1)
+        self._c_pm_line_reads.add(1)
         return data, self._lat.media.pm_read_ns
 
     def _rd_shared(self, message):
         pool_addr = self.to_pool(message.addr)
         data, media_ns = self._lookup_line(pool_addr)
         self.hbm.put(pool_addr, data)
-        self.stats.counter("rd_shared").add(1)
+        self._c_rd_shared.add(1)
         service = self.config.device_processing_ns + media_ns
         return msg.DataResponse(message.addr, data, "S"), service
 
     def _rd_own(self, message):
         pool_addr = self.to_pool(message.addr)
-        self.stats.counter("rd_own").add(1)
+        self._c_rd_own.add(1)
         # Undo-log the epoch-start value: the newest *device-visible*
         # value. With blocking persists that always equals the PM copy;
         # with pipelined persists (core.pipeline) the previous epoch's
@@ -186,7 +208,7 @@ class PaxDevice:
             if old is None:
                 old = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
             self.undo.note_modification(pool_addr, old)
-            self.stats.counter("lines_logged").add(1)
+            self._c_lines_logged.add(1)
         service = self.config.device_processing_ns
         if message.need_data:
             data, media_ns = self._lookup_line(pool_addr)
@@ -211,12 +233,12 @@ class PaxDevice:
                 "dirty eviction of 0x%x, but the line was never logged "
                 "this epoch" % message.addr)
         pumped = self.writeback.buffer_line(pool_addr, message.data, seq)
-        self.stats.counter("dirty_evicts").add(1)
+        self._c_dirty_evicts.add(1)
         service = self.config.device_processing_ns
         if pumped:
             # A forced log pump stalls the eviction path synchronously.
             service += pumped * 1e9 / self.config.log_drain_bps
-            self.stats.counter("stalled_evicts").add(1)
+            self._c_stalled_evicts.add(1)
         return msg.Go(message.addr), service
 
     # -- persist: the group commit (paper §3.3) ------------------------------------
@@ -280,11 +302,27 @@ class PaxDevice:
     # -- background asynchrony ---------------------------------------------------
 
     def background_tick(self, prev_ns, now_ns):
-        """Clock callback: drain log records and ready write-backs."""
+        """Clock callback: drain log records and ready write-backs.
+
+        This fires on *every* clock advance — i.e. once per cache access —
+        so it goes through locally bound references.
+        """
         delta_s = (now_ns - prev_ns) / 1e9
-        self.undo.drain_budget(self.config.log_drain_bps * delta_s)
-        self.writeback.drain_budget(self.config.writeback_drain_bps * delta_s)
-        self.pipeline.poll()
+        config = self.config
+        # Credit always accrues (a later burst may spend it), but the
+        # drain loops and the pipeline scan only run when there is work:
+        # in steady state the pending tail and flight list are empty and
+        # this callback is three float adds and three truth tests.
+        undo = self.undo
+        undo._drain_credit += config.log_drain_bps * delta_s
+        if undo._pending:
+            self._undo_drain(0.0)
+        writeback = self.writeback
+        writeback._drain_credit += config.writeback_drain_bps * delta_s
+        if writeback._buffer:
+            self._wb_drain(0.0)
+        if self.pipeline._flights:
+            self._pipeline_poll()
 
     # -- crash ---------------------------------------------------------------------
 

@@ -26,6 +26,11 @@ class HbmCache:
         self.capacity_lines = capacity_lines
         self._lines = OrderedDict()
         self.stats = StatGroup("hbm")
+        # Per-access counters bound once (hot-path-stat-lookup rule).
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_evictions = self.stats.counter("evictions")
+        self._c_invalidations = self.stats.counter("invalidations")
 
     @property
     def enabled(self):
@@ -36,10 +41,10 @@ class HbmCache:
         """Return cached line data or None; refreshes recency."""
         data = self._lines.get(pool_addr)
         if data is None:
-            self.stats.counter("misses").add(1)
+            self._c_misses.add(1)
             return None
         self._lines.move_to_end(pool_addr)
-        self.stats.counter("hits").add(1)
+        self._c_hits.add(1)
         return data
 
     def put(self, pool_addr, data):
@@ -53,7 +58,7 @@ class HbmCache:
         self._lines.move_to_end(pool_addr)
         if len(self._lines) > self.capacity_lines:
             self._lines.popitem(last=False)
-            self.stats.counter("evictions").add(1)
+            self._c_evictions.add(1)
 
     def peek(self, pool_addr):
         """Return cached data without touching recency or hit statistics."""
@@ -62,7 +67,7 @@ class HbmCache:
     def invalidate(self, pool_addr):
         """Drop the line (host took ownership; our copy may go stale)."""
         if self._lines.pop(pool_addr, None) is not None:
-            self.stats.counter("invalidations").add(1)
+            self._c_invalidations.add(1)
 
     def clear(self):
         """HBM is volatile: a crash empties it."""

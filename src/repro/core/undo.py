@@ -44,6 +44,10 @@ class UndoLogger:
         #: Optional tracer told about record creation and durability.
         self.tracer = None
         self.stats = StatGroup("undo_logger")
+        # Per-record counters bound once (hot-path-stat-lookup rule).
+        self._c_records = self.stats.counter("records")
+        self._c_dedup_hits = self.stats.counter("dedup_hits")
+        self._c_drained = self.stats.counter("drained")
 
     # -- producing records ---------------------------------------------------
 
@@ -56,7 +60,7 @@ class UndoLogger:
         captured.
         """
         if self._config.dedup_log_entries and pool_addr in self._logged:
-            self.stats.counter("dedup_hits").add(1)
+            self._c_dedup_hits.value += 1
             return self._logged[pool_addr]
         if self.pending_count + self._region.used_entries \
                 >= self._region.capacity_entries:
@@ -69,7 +73,7 @@ class UndoLogger:
         self._pending.append(
             _PendingRecord(seq, self.current_epoch, pool_addr, bytes(old_data)))
         self._logged[pool_addr] = seq
-        self.stats.counter("records").add(1)
+        self._c_records.add(1)
         if self.tracer is not None:
             self.tracer.on_log_record(pool_addr, seq, self.current_epoch)
         return seq
@@ -101,7 +105,7 @@ class UndoLogger:
         record = self._pending.popleft()
         self._region.append(record.epoch, record.pool_addr, record.old_data)
         self._durable_seq = record.seq
-        self.stats.counter("drained").add(1)
+        self._c_drained.add(1)
         if self.tracer is not None:
             self.tracer.on_log_durable(record.seq)
         return ENTRY_SIZE

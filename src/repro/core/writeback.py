@@ -39,6 +39,12 @@ class WriteBackCoordinator:
         self._buffer = OrderedDict()     # pool_addr -> _BufferedLine (FIFO)
         self._drain_credit = 0.0
         self.stats = StatGroup("writeback")
+        # Per-line counters bound once (hot-path-stat-lookup rule).
+        self._c_updates = self.stats.counter("updates")
+        self._c_insertions = self.stats.counter("insertions")
+        self._c_forced_pumps = self.stats.counter("forced_log_pumps")
+        self._c_capacity_evictions = self.stats.counter("capacity_evictions")
+        self._c_pm_line_writes = self.stats.counter("pm_line_writes")
 
     def __len__(self):
         return len(self._buffer)
@@ -66,12 +72,12 @@ class WriteBackCoordinator:
             existing.data = bytes(data)
             existing.seq = max(existing.seq, seq)
             self._buffer.move_to_end(pool_addr)
-            self.stats.counter("updates").add(1)
+            self._c_updates.add(1)
             return pumped
         while len(self._buffer) >= self._config.writeback_buffer_lines:
             pumped += self._evict_one()
         self._buffer[pool_addr] = _BufferedLine(data, seq)
-        self.stats.counter("insertions").add(1)
+        self._c_insertions.add(1)
         return pumped
 
     # -- eviction under the durability gate ---------------------------------------
@@ -92,9 +98,9 @@ class WriteBackCoordinator:
         pumped = 0
         if not self._undo.is_durable(entry.seq):
             pumped = self._undo.drain_until(entry.seq)
-            self.stats.counter("forced_log_pumps").add(1)
+            self._c_forced_pumps.add(1)
         self._write_to_pm(victim_addr, entry.data)
-        self.stats.counter("capacity_evictions").add(1)
+        self._c_capacity_evictions.add(1)
         return pumped
 
     # -- draining -----------------------------------------------------------------
@@ -131,7 +137,7 @@ class WriteBackCoordinator:
     def _write_to_pm(self, pool_addr, data):
         self._pool.device.write(pool_addr, data)
         self._hbm.put(pool_addr, data)
-        self.stats.counter("pm_line_writes").add(1)
+        self._c_pm_line_writes.add(1)
 
     def on_crash(self):
         """The buffer is device SRAM: a crash empties it."""

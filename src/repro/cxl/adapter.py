@@ -35,10 +35,18 @@ class CxlAdapter:
 
     def __init__(self):
         self.stats = StatGroup("cxl_adapter")
+        # Per-miss translation counters, keyed by op and bound once
+        # (hot-path-stat-lookup rule): the op set is closed, so the
+        # "translated." + op key concatenation can happen here instead of
+        # on every miss.
+        self._c_translated = {
+            op: self.stats.counter("translated." + op) for op in BusOp.ALL}
 
     def to_cxl(self, op, addr, data=None):
         """Translate a host bus operation into the CXL request to send."""
-        self.stats.counter("translated." + op).add(1)
+        counter = self._c_translated.get(op)
+        if counter is not None:
+            counter.value += 1
         if op == BusOp.READ_MISS:
             return msg.RdShared(addr)
         if op == BusOp.WRITE_MISS:

@@ -23,6 +23,11 @@ class CxlLink:
         self._h2d = BandwidthLimiter(name + ".h2d", clock, bytes_per_second)
         self._d2h = BandwidthLimiter(name + ".d2h", clock, bytes_per_second)
         self.stats = StatGroup(name)
+        # Per-message counters bound once (hot-path-stat-lookup rule).
+        self._c_h2d_messages = self.stats.counter("h2d_messages")
+        self._c_h2d_bytes = self.stats.counter("h2d_bytes")
+        self._c_d2h_messages = self.stats.counter("d2h_messages")
+        self._c_d2h_bytes = self.stats.counter("d2h_bytes")
 
     @classmethod
     def from_model(cls, name, clock, latency_model):
@@ -39,15 +44,17 @@ class CxlLink:
 
     def send_h2d(self, message):
         """Host-to-device hop; returns latency_ns."""
-        self.stats.counter("h2d_messages").add(1)
-        self.stats.counter("h2d_bytes").add(message.wire_bytes)
-        return self.one_way_ns + self._h2d.submit(message.wire_bytes)
+        wire_bytes = message.wire_bytes
+        self._c_h2d_messages.value += 1
+        self._c_h2d_bytes.value += wire_bytes
+        return self.one_way_ns + self._h2d.submit(wire_bytes)
 
     def send_d2h(self, message):
         """Device-to-host hop; returns latency_ns."""
-        self.stats.counter("d2h_messages").add(1)
-        self.stats.counter("d2h_bytes").add(message.wire_bytes)
-        return self.one_way_ns + self._d2h.submit(message.wire_bytes)
+        wire_bytes = message.wire_bytes
+        self._c_d2h_messages.value += 1
+        self._c_d2h_bytes.value += wire_bytes
+        return self.one_way_ns + self._d2h.submit(wire_bytes)
 
     def round_trip(self, request, response):
         """Latency of a request/response pair."""

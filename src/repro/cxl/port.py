@@ -23,6 +23,8 @@ class DevicePort:
         self.device = device
         self.adapter = CxlAdapter()
         self.stats = StatGroup("device_port")
+        # Per-transaction counter bound once (hot-path-stat-lookup rule).
+        self._c_transactions = self.stats.counter("transactions")
 
     def _transact(self, op, addr, data=None):
         request = self.adapter.to_cxl(op, addr, data)
@@ -31,7 +33,7 @@ class DevicePort:
         self.adapter.check_response(request, response)
         latency += service_ns
         latency += self.link.send_d2h(response)
-        self.stats.counter("transactions").add(1)
+        self._c_transactions.add(1)
         return response, latency
 
     def read_shared(self, addr):
@@ -69,6 +71,9 @@ class MemDevicePort:
         self.link = link
         self.device = device
         self.stats = StatGroup("mem_device_port")
+        # Per-access counters bound once (hot-path-stat-lookup rule).
+        self._c_mem_reads = self.stats.counter("mem_reads")
+        self._c_mem_writes = self.stats.counter("mem_writes")
 
     def read_line(self, addr):
         """MemRd; returns ``(line_data, latency_ns)``."""
@@ -76,7 +81,7 @@ class MemDevicePort:
         latency = self.link.send_h2d(request)
         response, service_ns = self.device.handle_message(request)
         latency += service_ns + self.link.send_d2h(response)
-        self.stats.counter("mem_reads").add(1)
+        self._c_mem_reads.add(1)
         return response.data, latency
 
     def write_line(self, addr, data):
@@ -85,7 +90,7 @@ class MemDevicePort:
         latency = self.link.send_h2d(request)
         response, service_ns = self.device.handle_message(request)
         latency += service_ns + self.link.send_d2h(response)
-        self.stats.counter("mem_writes").add(1)
+        self._c_mem_writes.add(1)
         return latency
 
 
@@ -96,6 +101,10 @@ class HostSnoopPort:
         self.link = link
         self.hierarchy = hierarchy
         self.stats = StatGroup("host_snoop_port")
+        # Per-snoop counters bound once (hot-path-stat-lookup rule).
+        self._c_snp_data = self.stats.counter("snp_data")
+        self._c_dirty_pulls = self.stats.counter("dirty_pulls")
+        self._c_snp_inv = self.stats.counter("snp_inv")
 
     def snoop_shared(self, addr):
         """Issue SnpData; returns ``(data_or_None, latency_ns)``.
@@ -108,9 +117,9 @@ class HostSnoopPort:
         fresh = self.hierarchy.snoop_shared(addr)
         response = msg.SnpResponse(addr, fresh)
         latency += self.link.send_h2d(response)
-        self.stats.counter("snp_data").add(1)
+        self._c_snp_data.add(1)
         if fresh is not None:
-            self.stats.counter("dirty_pulls").add(1)
+            self._c_dirty_pulls.add(1)
         return fresh, latency
 
     def snoop_invalidate(self, addr):
@@ -120,5 +129,5 @@ class HostSnoopPort:
         fresh = self.hierarchy.snoop_invalidate(addr)
         response = msg.SnpResponse(addr, fresh)
         latency += self.link.send_h2d(response)
-        self.stats.counter("snp_inv").add(1)
+        self._c_snp_inv.add(1)
         return fresh, latency

@@ -58,15 +58,17 @@ class CpuAccessor(MemoryAccessor):
         self._core = core_id
 
     def read(self, addr, length):
-        self._machine.check_alive()
-        return self._machine.hierarchy.load(self._core, addr + HEAP_PHYS_BASE,
-                                            length)
+        machine = self._machine
+        machine.check_alive()
+        return machine.hierarchy.load(self._core, addr + HEAP_PHYS_BASE,
+                                      length)
 
     def write(self, addr, data):
-        self._machine.check_alive()
-        if self._machine.store_hook is not None:
-            self._machine.store_hook(addr, data)
-        self._machine.hierarchy.store(self._core, addr + HEAP_PHYS_BASE, data)
+        machine = self._machine
+        machine.check_alive()
+        if machine.store_hook is not None:
+            machine.store_hook(addr, data)
+        machine.hierarchy.store(self._core, addr + HEAP_PHYS_BASE, data)
 
 
 class PaxHome(Home):

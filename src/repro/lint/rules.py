@@ -26,9 +26,12 @@ _BANNED_EXCEPTIONS = frozenset({
 #: and randomness from ``repro.sim.rng`` (seeded, replayable).
 _NONDET_MODULES = frozenset({"time", "random", "datetime", "secrets"})
 
-#: Files allowed to import the non-deterministic modules: the two
-#: wrappers that fence them off behind seeded/simulated interfaces.
-_NONDET_SANCTIONED = ("sim/rng.py", "sim/clock.py")
+#: Files allowed to import the non-deterministic modules: the wrappers
+#: that fence them off behind seeded/simulated interfaces, plus the
+#: perfbench harness, which measures the simulator's *wall-clock* speed
+#: and is non-deterministic by definition (its output never feeds back
+#: into simulated results).
+_NONDET_SANCTIONED = ("sim/rng.py", "sim/clock.py", "perfbench/")
 
 #: Modules allowed to call ``*.write(...)`` on a PM device directly.
 #: Everything else must go through the cache hierarchy or a transaction
@@ -46,6 +49,50 @@ _PM_WRITE_SANCTIONED = (
 _DEVICE_NAMES = frozenset({"device", "pm", "media", "pm_device"})
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+
+#: Per-event methods on the simulator's critical path, by file suffix.
+#: Inside these, ``stats.counter("...")`` / ``stats.histogram("...")``
+#: is a string-keyed dict lookup paid on every simulated access; the
+#: object must instead be bound to an attribute at construction time
+#: (see docs/performance.md). Constructors are deliberately absent —
+#: binding there is the fix.
+_HOT_PATH_METHODS = {
+    "cache/hierarchy.py": frozenset({
+        "load", "store", "_access_line", "_hit_path", "_miss_path",
+        "_charge", "_fill_l1", "_evict_from_l2", "_upgrade",
+        "_invalidate_sharers", "_pull_from_core", "snoop_shared",
+        "snoop_invalidate"}),
+    "cache/cache.py": frozenset({"lookup", "peek", "insert", "remove"}),
+    "cache/replacement.py": frozenset({
+        "on_access", "on_insert", "on_remove", "victim"}),
+    "cache/homes.py": frozenset({"acquire", "writeback"}),
+    "mem/physical.py": frozenset({"read", "write"}),
+    "mem/layout.py": frozenset({"get", "set"}),
+    "pm/device.py": frozenset({"write"}),
+    "pm/log.py": frozenset({"append"}),
+    "sim/bandwidth.py": frozenset({"record", "submit"}),
+    "sim/clock.py": frozenset({"advance"}),
+    "cxl/link.py": frozenset({"send_h2d", "send_d2h"}),
+    "cxl/adapter.py": frozenset({"to_cxl", "check_response"}),
+    "cxl/port.py": frozenset({
+        "_transact", "read_line", "write_line", "snoop_shared",
+        "snoop_invalidate"}),
+    "core/device.py": frozenset({
+        "handle_message", "background_tick", "_rd_shared", "_rd_own",
+        "_dirty_evict", "_clean_evict", "_mem_rd", "_mem_wr",
+        "_lookup_line"}),
+    "core/undo.py": frozenset({
+        "note_modification", "drain_one", "drain_budget"}),
+    "core/writeback.py": frozenset({
+        "buffer_line", "_evict_one", "drain_budget", "_write_to_pm"}),
+    "core/hbm.py": frozenset({"get", "put", "invalidate"}),
+    "structures/hashmap.py": frozenset({
+        "put", "get", "remove", "_bucket_addr"}),
+    "baselines/base.py": frozenset({"put", "get", "remove"}),
+}
+
+#: Method names on a stats group whose call-per-event is the smell.
+_STAT_FACTORIES = frozenset({"counter", "histogram"})
 
 
 def _exception_name(node):
@@ -133,6 +180,52 @@ def check_sim_determinism(ctx):
                 yield (node.lineno, node.col_offset,
                        "import from %r breaks determinism; use sim.clock"
                        " / sim.rng" % node.module)
+
+
+@rule("hot-path-stat-lookup",
+      "no string-keyed stat lookups inside per-access hot paths")
+def check_hot_path_stat_lookup(ctx):
+    """Flag ``stats.counter("x")`` / ``stats.histogram("x")`` calls inside
+    methods known to run once per simulated access.
+
+    The get-or-create factories hash the name string on every call; on
+    the per-access critical path that shows up directly in wall-clock
+    throughput (measured by ``repro.perfbench``). The fix is to bind the
+    returned object to an attribute in the constructor and bump that
+    binding. Cold methods of the same classes (crash hooks, recovery
+    scans, reports) may keep the readable string-keyed form.
+    """
+    hot_methods = None
+    for suffix, methods in _HOT_PATH_METHODS.items():
+        if ctx.in_package(suffix):
+            hot_methods = methods
+            break
+    if hot_methods is None:
+        return
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name not in hot_methods:
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            if callee.attr not in _STAT_FACTORIES:
+                continue
+            receiver = callee.value
+            receiver_name = None
+            if isinstance(receiver, ast.Attribute):
+                receiver_name = receiver.attr
+            elif isinstance(receiver, ast.Name):
+                receiver_name = receiver.id
+            if receiver_name != "stats":
+                continue
+            yield (node.lineno, node.col_offset,
+                   "stat lookup by name inside hot method %s(); bind the "
+                   "%s at construction time" % (func.name, callee.attr))
 
 
 @rule("mutable-default",

@@ -117,16 +117,29 @@ class StructView:
         """Load field ``field_name`` (element ``index`` for arrays)."""
         field = self.layout.fields[field_name]
         addr = self._field_addr(field, index)
-        if field.kind == "bytes":
+        # Explicit dispatch: structure code reads fields on every
+        # operation, and u64 is the common word type; ``getattr`` with a
+        # freshly concatenated method name costs more than the load.
+        kind = field.kind
+        if kind == "u64":
+            return self._mem.read_u64(addr)
+        if kind == "bytes":
             return self._mem.read(addr, field.size)
-        reader = getattr(self._mem, "read_" + field.kind)
-        return reader(addr)
+        if kind == "u32":
+            return self._mem.read_u32(addr)
+        if kind == "u16":
+            return self._mem.read_u16(addr)
+        return self._mem.read_u8(addr)
 
     def set(self, field_name, value, index=0):
         """Store ``value`` to field ``field_name``."""
         field = self.layout.fields[field_name]
         addr = self._field_addr(field, index)
-        if field.kind == "bytes":
+        kind = field.kind
+        if kind == "u64":
+            self._mem.write_u64(addr, value)
+            return
+        if kind == "bytes":
             value = bytes(value)
             if len(value) != field.size:
                 raise ConfigError(
@@ -134,8 +147,13 @@ class StructView:
                     % (field_name, field.size, len(value)))
             self._mem.write(addr, value)
             return
-        writer = getattr(self._mem, "write_" + field.kind)
-        writer(addr, value)
+        if kind == "u32":
+            self._mem.write_u32(addr, value)
+            return
+        if kind == "u16":
+            self._mem.write_u16(addr, value)
+            return
+        self._mem.write_u8(addr, value)
 
     def field_addr(self, field_name, index=0):
         """Address of a field, for passing to other code."""

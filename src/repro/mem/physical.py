@@ -28,6 +28,11 @@ class MemoryDevice:
         self.size = size
         self._data = bytearray(size)
         self.stats = StatGroup(name)
+        # Per-access counters bound once (hot-path-stat-lookup rule).
+        self._c_reads = self.stats.counter("reads")
+        self._c_bytes_read = self.stats.counter("bytes_read")
+        self._c_writes = self.stats.counter("writes")
+        self._c_bytes_written = self.stats.counter("bytes_written")
 
     def _check_range(self, offset, length):
         if length < 0:
@@ -40,17 +45,18 @@ class MemoryDevice:
     def read(self, offset, length):
         """Return ``length`` bytes starting at device-relative ``offset``."""
         self._check_range(offset, length)
-        self.stats.counter("reads").add(1)
-        self.stats.counter("bytes_read").add(length)
+        self._c_reads.value += 1
+        self._c_bytes_read.value += length
         return bytes(self._data[offset:offset + length])
 
     def write(self, offset, data):
         """Store ``data`` at device-relative ``offset``."""
         data = bytes(data)
-        self._check_range(offset, len(data))
-        self.stats.counter("writes").add(1)
-        self.stats.counter("bytes_written").add(len(data))
-        self._data[offset:offset + len(data)] = data
+        size = len(data)
+        self._check_range(offset, size)
+        self._c_writes.value += 1
+        self._c_bytes_written.value += size
+        self._data[offset:offset + size] = data
 
     def fill(self, offset, length, value=0):
         """Set ``length`` bytes at ``offset`` to ``value``."""

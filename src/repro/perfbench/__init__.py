@@ -1,0 +1,225 @@
+"""Wall-clock performance regression harness.
+
+Everything else in this repository measures *simulated* nanoseconds; this
+package measures how fast the simulator itself runs, so that hot-path
+regressions (an accidental per-access allocation, a string-keyed stat
+lookup creeping back in) are caught by a number rather than by a feeling.
+See docs/performance.md for the design rules this harness polices.
+
+``python -m repro.perfbench`` runs a fixed workload x backend matrix and
+writes a JSON report (see :data:`SCHEMA`); ``--compare`` grades a fresh
+run against a committed baseline and fails on regression. Two different
+quantities appear in a report and are deliberately kept apart:
+
+* ``ops_per_sec`` — wall-clock throughput. Machine-dependent; compared
+  with a tolerance.
+* ``sim_ns`` — simulated time the workload consumed. Machine-independent
+  and fully deterministic; compared exactly when configurations match,
+  because any drift means simulated *behaviour* changed, which is never
+  acceptable for a performance-only patch.
+
+Wall-clock timing is inherently non-deterministic, so this package (like
+``sim/clock.py``) is sanctioned to import :mod:`time`; nothing here feeds
+back into simulation results.
+"""
+
+import gc
+import json
+import time
+
+from repro.baselines import make_backend
+from repro.cache.cache import CacheConfig
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng
+
+#: Report format identifier, bumped on incompatible layout changes.
+SCHEMA = "repro.perfbench/1"
+
+#: Workloads in the default matrix.
+WORKLOADS = ("store_heavy", "load_heavy", "mixed")
+
+#: Backends in the default matrix (the paper's headline comparison set).
+BACKENDS = ("dram", "pm_direct", "pmdk", "pax")
+
+#: Default operation counts: sized so a full matrix finishes in about a
+#: minute on a laptop while still spending >90% of its time in the
+#: simulator's per-access path.
+DEFAULT_OPS = 20000
+DEFAULT_RECORDS = 2000
+DEFAULT_SEED = 42
+
+#: Same ~8x-scaled cache geometry the pytest benchmarks use, so perfbench
+#: exercises the realistic mixed hit/miss regime rather than pure L1 hits.
+BENCH_CACHES = dict(
+    l1_config=CacheConfig(size_bytes=8 * 1024, ways=4),
+    l2_config=CacheConfig(size_bytes=64 * 1024, ways=8),
+    llc_config=CacheConfig(size_bytes=256 * 1024, ways=16),
+)
+
+_HEAP = 8 * 1024 * 1024
+_LOG = 2 * 1024 * 1024
+
+
+def build_backend(name):
+    """Build ``name`` with perfbench-standard sizing."""
+    kwargs = dict(heap_size=_HEAP, capacity=1 << 12)
+    if name in ("pax", "hybrid"):
+        kwargs = dict(pool_size=_HEAP, log_size=_LOG, capacity=1 << 12)
+    kwargs.update(BENCH_CACHES)
+    return make_backend(name, **kwargs)
+
+
+def _drive(backend, workload, ops, records, seed):
+    """Run the timed phase; returns (wall_s, sim_ns)."""
+    rng = DeterministicRng(seed)
+    for i in range(records):
+        backend.put(i, i)
+    hi = records - 1
+    sim_start = backend.now_ns
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        if workload == "store_heavy":
+            start = time.perf_counter()
+            for i in range(ops):
+                backend.put(rng.randint(0, hi), i)
+            wall_s = time.perf_counter() - start
+        elif workload == "load_heavy":
+            start = time.perf_counter()
+            for _i in range(ops):
+                backend.get(rng.randint(0, hi))
+            wall_s = time.perf_counter() - start
+        elif workload == "mixed":
+            start = time.perf_counter()
+            for i in range(ops):
+                key = rng.randint(0, hi)
+                if i & 1:
+                    backend.put(key, i)
+                else:
+                    backend.get(key)
+            wall_s = time.perf_counter() - start
+        else:
+            raise ConfigError("unknown workload %r (have %s)"
+                              % (workload, ", ".join(WORKLOADS)))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return wall_s, backend.now_ns - sim_start
+
+
+def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
+             seed=DEFAULT_SEED, repeats=1):
+    """Measure one workload x backend cell; returns a result dict.
+
+    With ``repeats`` > 1 the cell is rebuilt and rerun that many times and
+    the best (largest throughput) wall-clock figure is reported — the
+    standard defence against a scheduler hiccup polluting a measurement.
+    ``sim_ns`` is identical across repeats by construction; this is
+    asserted, making every multi-repeat run a free determinism check.
+    """
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    best_wall = None
+    sim_ns = None
+    for _attempt in range(repeats):
+        backend = build_backend(backend_name)
+        wall_s, cell_sim_ns = _drive(backend, workload, ops, records, seed)
+        if sim_ns is None:
+            sim_ns = cell_sim_ns
+        elif sim_ns != cell_sim_ns:
+            raise ConfigError(
+                "non-deterministic simulation: %s/%s consumed %d ns then %d"
+                % (workload, backend_name, sim_ns, cell_sim_ns))
+        if best_wall is None or wall_s < best_wall:
+            best_wall = wall_s
+    return {
+        "workload": workload,
+        "backend": backend_name,
+        "ops": ops,
+        "wall_s": round(best_wall, 6),
+        "ops_per_sec": round(ops / best_wall, 1) if best_wall > 0 else 0.0,
+        "sim_ns": sim_ns,
+    }
+
+
+def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
+               records=DEFAULT_RECORDS, seed=DEFAULT_SEED, repeats=1,
+               progress=None):
+    """Run the full matrix; returns the report dict (see :data:`SCHEMA`)."""
+    results = []
+    for workload in workloads:
+        for backend_name in backends:
+            cell = run_cell(workload, backend_name, ops=ops, records=records,
+                            seed=seed, repeats=repeats)
+            results.append(cell)
+            if progress is not None:
+                progress(cell)
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "ops": ops,
+            "records": records,
+            "seed": seed,
+            "repeats": repeats,
+            "workloads": list(workloads),
+            "backends": list(backends),
+        },
+        "results": results,
+    }
+
+
+def write_report(report, path):
+    """Write ``report`` as pretty JSON with a trailing newline."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path):
+    """Load and schema-check a report written by :func:`write_report`."""
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ConfigError("%s is not a %s report (schema=%r)"
+                          % (path, SCHEMA, report.get("schema")))
+    return report
+
+
+def compare(current, baseline, tolerance=0.30):
+    """Grade ``current`` against ``baseline``; returns a list of problems.
+
+    Two checks, matching the two quantities in a report:
+
+    * wall-clock: a cell regresses when its throughput drops below
+      ``baseline * (1 - tolerance)``. Tolerant, because machines differ.
+    * simulated time: compared **exactly**, but only when the two reports
+      ran the same config (ops/records/seed) — ``sim_ns`` must not move
+      under a performance-only change.
+
+    Cells present in only one report are ignored (the matrix may grow).
+    """
+    if not 0 <= tolerance < 1:
+        raise ConfigError("tolerance must be in [0, 1)")
+    base_cells = {(cell["workload"], cell["backend"]): cell
+                  for cell in baseline["results"]}
+    same_config = all(
+        current["config"].get(key) == baseline["config"].get(key)
+        for key in ("ops", "records", "seed"))
+    problems = []
+    for cell in current["results"]:
+        base = base_cells.get((cell["workload"], cell["backend"]))
+        if base is None:
+            continue
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        if cell["ops_per_sec"] < floor:
+            problems.append(
+                "%s/%s: %.0f ops/s is below %.0f (baseline %.0f - %d%%)"
+                % (cell["workload"], cell["backend"], cell["ops_per_sec"],
+                   floor, base["ops_per_sec"], round(tolerance * 100)))
+        if same_config and cell["sim_ns"] != base["sim_ns"]:
+            problems.append(
+                "%s/%s: simulated time changed %d -> %d ns under identical "
+                "config; the patch changed behaviour, not just speed"
+                % (cell["workload"], cell["backend"], base["sim_ns"],
+                   cell["sim_ns"]))
+    return problems

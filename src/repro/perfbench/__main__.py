@@ -1,0 +1,73 @@
+"""CLI for the wall-clock regression harness.
+
+Examples::
+
+    python -m repro.perfbench                          # full matrix -> BENCH_PR3.json
+    python -m repro.perfbench --ops 4000 --out smoke.json
+    python -m repro.perfbench --compare BENCH_PR3.json # measure, then grade
+
+Exit status: 0 on success, 1 on a comparison failure — wired for CI.
+"""
+
+import argparse
+import sys
+
+from repro.perfbench import (BACKENDS, DEFAULT_OPS, DEFAULT_RECORDS,
+                             DEFAULT_SEED, WORKLOADS, compare, load_report,
+                             run_matrix, write_report)
+
+
+def main(argv=None):
+    """Run the benchmark matrix; return a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfbench",
+        description="Measure simulator wall-clock throughput over a fixed "
+                    "workload x backend matrix.")
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help="timed operations per cell (default %(default)s)")
+    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS,
+                        help="records preloaded before timing (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="workload RNG seed (default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per cell; best wall-clock wins (default %(default)s)")
+    parser.add_argument("--workloads", default=",".join(WORKLOADS),
+                        help="comma-separated workload list (default %(default)s)")
+    parser.add_argument("--backends", default=",".join(BACKENDS),
+                        help="comma-separated backend list (default %(default)s)")
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="report path (default %(default)s)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="grade this run against a baseline report; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional wall-clock drop vs the "
+                             "baseline (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    def progress(cell):
+        print("%-12s %-10s %8.0f ops/s  (%.3fs wall, %d sim-ns)"
+              % (cell["workload"], cell["backend"], cell["ops_per_sec"],
+                 cell["wall_s"], cell["sim_ns"]))
+
+    report = run_matrix(workloads=args.workloads.split(","),
+                        backends=args.backends.split(","),
+                        ops=args.ops, records=args.records, seed=args.seed,
+                        repeats=args.repeats, progress=progress)
+    write_report(report, args.out)
+    print("wrote %s" % args.out)
+
+    if args.compare:
+        problems = compare(report, load_report(args.compare),
+                           tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print("REGRESSION: %s" % problem, file=sys.stderr)
+            return 1
+        print("no regression vs %s (tolerance %d%%)"
+              % (args.compare, round(args.tolerance * 100)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

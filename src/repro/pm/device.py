@@ -13,11 +13,16 @@ durable medium for crash-injection purposes) and is documented in
 DESIGN.md.
 """
 
+import collections
 import os
 
 from repro.mem.physical import MemoryDevice
 from repro.util.bitops import lines_covering
 from repro.util.constants import CACHE_LINE_SIZE
+from repro.util.fastpath import fast_path_enabled
+
+#: Offset-within-line mask for the arithmetic line walk in :meth:`write`.
+_LINE_MASK = CACHE_LINE_SIZE - 1
 
 
 class PmDevice(MemoryDevice):
@@ -30,11 +35,16 @@ class PmDevice(MemoryDevice):
         self.backing_path = backing_path
         #: Per-line write counts (endurance/wear accounting). PM media
         #: wears out per write; schemes that concentrate writes (WAL
-        #: regions) create hotspots this dict makes measurable.
-        self.line_wear = {}
+        #: regions) create hotspots this tally makes measurable. A
+        #: ``collections.Counter`` so the write path is a bare
+        #: ``wear[line] += 1`` with no per-write ``dict.get`` dance; it
+        #: still reads like a plain mapping everywhere else.
+        self.line_wear = collections.Counter()
         #: Optional tracer told about every media write (PaxSan's
         #: write-back gate check lives behind this hook).
         self.tracer = None
+        self._c_lines_written = self.stats.counter("lines_written")
+        self._fast = fast_path_enabled()
         if backing_path is not None and os.path.exists(backing_path):
             self._load()
 
@@ -46,10 +56,27 @@ class PmDevice(MemoryDevice):
         # internally writes whole lines (Optane actually uses 256 B blocks;
         # we use the coherence granularity, which is what the paper's
         # write-amplification argument is phrased in).
-        touched = lines_covering(offset, len(data)) if data else []
-        self.stats.counter("lines_written").add(len(touched))
-        for line in touched:
-            self.line_wear[line] = self.line_wear.get(line, 0) + 1
+        size = len(data)
+        if size:
+            if self._fast:
+                # Arithmetic line walk: same lines as lines_covering()
+                # without building a generator plus list per write.
+                first = offset & ~_LINE_MASK
+                last = (offset + size - 1) & ~_LINE_MASK
+                wear = self.line_wear
+                if first == last:
+                    self._c_lines_written.add(1)
+                    wear[first] += 1
+                else:
+                    self._c_lines_written.add(
+                        ((last - first) // CACHE_LINE_SIZE) + 1)
+                    for line in range(first, last + 1, CACHE_LINE_SIZE):
+                        wear[line] += 1
+            else:
+                touched = lines_covering(offset, size)
+                self._c_lines_written.add(len(touched))
+                for line in touched:
+                    self.line_wear[line] += 1
         super().write(offset, data)
 
     # -- endurance accounting ------------------------------------------------

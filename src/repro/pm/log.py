@@ -146,6 +146,9 @@ class UndoLogRegion:
         self.size = size
         self.write_offset = 0
         self.stats = StatGroup("undo_log")
+        # Per-append counters bound once (hot-path-stat-lookup rule).
+        self._c_appends = self.stats.counter("appends")
+        self._c_bytes = self.stats.counter("bytes")
 
     @property
     def capacity_entries(self):
@@ -177,8 +180,8 @@ class UndoLogRegion:
         if self.write_offset + ENTRY_SIZE <= self.size:
             self.device.write(self.base + self.write_offset,
                               bytes(_PREFIX.size))
-        self.stats.counter("appends").add(1)
-        self.stats.counter("bytes").add(ENTRY_SIZE)
+        self._c_appends.add(1)
+        self._c_bytes.add(ENTRY_SIZE)
         return offset
 
     def reset(self):

@@ -25,18 +25,21 @@ class BandwidthMeter:
         self._clock = clock
         self._start_ns = clock.now_ns
         self.stats = StatGroup(name)
+        # Per-transfer counters bound once (hot-path-stat-lookup rule).
+        self._c_bytes = self.stats.counter("bytes")
+        self._c_transfers = self.stats.counter("transfers")
 
     def record(self, num_bytes):
         """Account ``num_bytes`` moved at the current simulated time."""
         if num_bytes < 0:
             raise SimulationError("cannot transfer negative bytes")
-        self.stats.counter("bytes").add(num_bytes)
-        self.stats.counter("transfers").add(1)
+        self._c_bytes.add(num_bytes)
+        self._c_transfers.add(1)
 
     @property
     def bytes_moved(self):
         """Total bytes recorded so far."""
-        return self.stats.get("bytes")
+        return self._c_bytes.value
 
     def achieved_bps(self):
         """Achieved bytes/second since construction (0 if no time passed)."""
@@ -63,6 +66,11 @@ class BandwidthLimiter:
         self._backlog_bytes = 0.0
         self._last_ns = clock.now_ns
         self.stats = StatGroup(name)
+        # Per-transfer counters bound once (hot-path-stat-lookup rule).
+        self._c_bytes = self.stats.counter("bytes")
+        self._c_transfers = self.stats.counter("transfers")
+        self._c_stalled = self.stats.counter("stalled_transfers")
+        self._h_queue_delay = self.stats.histogram("queue_delay_ns")
 
     def _drain(self):
         now = self._clock.now_ns
@@ -79,11 +87,11 @@ class BandwidthLimiter:
         self._drain()
         delay_ns = self._backlog_bytes * 1e9 / self._rate
         self._backlog_bytes += num_bytes
-        self.stats.counter("bytes").add(num_bytes)
-        self.stats.counter("transfers").add(1)
+        self._c_bytes.value += num_bytes
+        self._c_transfers.value += 1
         if delay_ns > 0:
-            self.stats.counter("stalled_transfers").add(1)
-            self.stats.histogram("queue_delay_ns").record(delay_ns)
+            self._c_stalled.value += 1
+            self._h_queue_delay.record(delay_ns)
         return delay_ns
 
     @property

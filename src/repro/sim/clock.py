@@ -41,7 +41,7 @@ class SimClock:
             return self._now_ns
         previous = self._now_ns
         self._now_ns = previous + delta_ns
-        if not self._in_callback:
+        if self._callbacks and not self._in_callback:
             # Guard against re-entrant advancement from inside a callback;
             # background work observes time but must not create more of it
             # recursively.

@@ -42,6 +42,18 @@ _NODE = StructLayout("hashmap_node", [
 #: Grow when count exceeds capacity * MAX_LOAD.
 MAX_LOAD = 2
 
+# Field offsets hoisted from the layouts: put/get/remove issue their
+# simulated loads and stores at these addresses directly rather than
+# building a StructView per node visit — same accesses, no per-visit
+# allocation or field-name lookup.
+_HDR_CAPACITY = _HEADER.fields["capacity"].offset
+_HDR_COUNT = _HEADER.fields["count"].offset
+_HDR_BUCKETS = _HEADER.fields["buckets"].offset
+_HDR_SEED = _HEADER.fields["seed"].offset
+_NODE_KEY = _NODE.fields["key"].offset
+_NODE_VALUE = _NODE.fields["value"].offset
+_NODE_NEXT = _NODE.fields["next"].offset
+
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
@@ -61,6 +73,11 @@ class HashMap:
         self._alloc = allocator
         self.root = root
         self._hdr = _HEADER.view(mem, root)
+        # Bound word accessors for the hot operations (the accessor's
+        # identity is fixed for this instance's life; restart paths build
+        # a fresh HashMap).
+        self._read_u64 = mem.read_u64
+        self._write_u64 = mem.write_u64
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -91,58 +108,65 @@ class HashMap:
     # -- core operations --------------------------------------------------------
 
     def _bucket_addr(self, key, capacity=None, buckets=None):
-        capacity = capacity if capacity is not None else self._hdr.get("capacity")
-        buckets = buckets if buckets is not None else self._hdr.get("buckets")
-        index = _mix(key, self._hdr.get("seed")) & (capacity - 1)
+        read = self._read_u64
+        root = self.root
+        if capacity is None:
+            capacity = read(root + _HDR_CAPACITY)
+        if buckets is None:
+            buckets = read(root + _HDR_BUCKETS)
+        index = _mix(key, read(root + _HDR_SEED)) & (capacity - 1)
         return buckets + index * WORD_SIZE
 
     def put(self, key, value):
         """Insert or update; returns True if a new key was inserted."""
+        read = self._read_u64
+        write = self._write_u64
         bucket = self._bucket_addr(key)
-        node = self._mem.read_u64(bucket)
+        node = read(bucket)
         while node != NULL_ADDR:
-            view = _NODE.view(self._mem, node)
-            if view.get("key") == key:
-                view.set("value", value)
+            if read(node + _NODE_KEY) == key:
+                write(node + _NODE_VALUE, value)
                 return False
-            node = view.get("next")
-        head = self._mem.read_u64(bucket)
+            node = read(node + _NODE_NEXT)
+        head = read(bucket)
         node = self._alloc.alloc(_NODE.size)
-        view = _NODE.view(self._mem, node)
-        view.set("key", key)
-        view.set("value", value)
-        view.set("next", head)
-        self._mem.write_u64(bucket, node)
-        count = self._hdr.get("count") + 1
-        self._hdr.set("count", count)
-        if count > self._hdr.get("capacity") * MAX_LOAD:
+        write(node + _NODE_KEY, key)
+        write(node + _NODE_VALUE, value)
+        write(node + _NODE_NEXT, head)
+        write(bucket, node)
+        root = self.root
+        count = read(root + _HDR_COUNT) + 1
+        write(root + _HDR_COUNT, count)
+        if count > read(root + _HDR_CAPACITY) * MAX_LOAD:
             self._grow()
         return True
 
     def get(self, key, default=None):
         """Return the value for ``key`` (or ``default``)."""
-        node = self._mem.read_u64(self._bucket_addr(key))
+        read = self._read_u64
+        node = read(self._bucket_addr(key))
         while node != NULL_ADDR:
-            view = _NODE.view(self._mem, node)
-            if view.get("key") == key:
-                return view.get("value")
-            node = view.get("next")
+            if read(node + _NODE_KEY) == key:
+                return read(node + _NODE_VALUE)
+            node = read(node + _NODE_NEXT)
         return default
 
     def remove(self, key):
         """Delete ``key``; returns True if it was present."""
+        read = self._read_u64
+        write = self._write_u64
         bucket = self._bucket_addr(key)
         prev_link = bucket
-        node = self._mem.read_u64(bucket)
+        node = read(bucket)
         while node != NULL_ADDR:
-            view = _NODE.view(self._mem, node)
-            if view.get("key") == key:
-                self._mem.write_u64(prev_link, view.get("next"))
+            if read(node + _NODE_KEY) == key:
+                write(prev_link, read(node + _NODE_NEXT))
                 self._alloc.free(node, _NODE.size)
-                self._hdr.set("count", self._hdr.get("count") - 1)
+                root = self.root
+                write(root + _HDR_COUNT, read(root + _HDR_COUNT) - 1)
                 return True
-            prev_link = view.field_addr("next")
-            node = view.get("next")
+            prev_link = node + _NODE_NEXT
+            node = read(node + _NODE_NEXT)
         return False
 
     def __contains__(self, key):

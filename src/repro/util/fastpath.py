@@ -1,0 +1,24 @@
+"""Fast-path/slow-path toggle for the simulator's per-access code.
+
+The cache hierarchy and the PM device carry single-line fast paths that
+bypass the generic ``split_lines`` walk (docs/performance.md). Both paths
+must produce byte-identical simulated behaviour — the same stats, clock
+values, and pool contents. Setting the ``REPRO_SLOW_PATH`` environment
+variable to a truthy value before a component is constructed forces the
+generic slow path, which is what the golden-equivalence test
+(tests/test_fastpath_equivalence.py) uses to prove the optimization
+changes nothing observable.
+
+The flag is read once, at component construction, so a single process can
+build one machine per setting and compare them.
+"""
+
+import os
+
+#: Environment variable forcing the generic per-line walk.
+SLOW_PATH_ENV = "REPRO_SLOW_PATH"
+
+
+def fast_path_enabled():
+    """True unless ``REPRO_SLOW_PATH`` is set to a non-empty, non-"0" value."""
+    return os.environ.get(SLOW_PATH_ENV, "0") in ("", "0")

@@ -39,9 +39,18 @@ class Histogram:
 
     Good enough for latency summaries without storing every sample; also
     records a small reservoir for percentile estimates in reports.
+
+    :meth:`record` sits on the simulator's per-access critical path
+    (every cache access charges latency through one), so it does strictly
+    O(1) arithmetic: all percentile work — sorting the reservoir — is
+    deferred to :meth:`percentile` and cached there until new samples
+    arrive.
     """
 
     RESERVOIR_SIZE = 4096
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_sum_sq", "_reservoir", "_sorted", "_sorted_at")
 
     def __init__(self, name):
         self.name = name
@@ -51,23 +60,28 @@ class Histogram:
         self.max = -math.inf
         self._sum_sq = 0.0
         self._reservoir = []
+        #: Sorted copy of the reservoir, valid only while ``_sorted_at``
+        #: equals ``count`` (lazily rebuilt by :meth:`percentile`).
+        self._sorted = None
+        self._sorted_at = -1
 
     def record(self, value):
         """Record one sample."""
-        self.count += 1
+        count = self.count = self.count + 1
         self.total += value
         self._sum_sq += value * value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self._reservoir) < self.RESERVOIR_SIZE:
-            self._reservoir.append(value)
+        reservoir = self._reservoir
+        if len(reservoir) < self.RESERVOIR_SIZE:
+            reservoir.append(value)
         else:
             # Deterministic decimation: overwrite a rotating slot. This is
             # not statistically unbiased reservoir sampling, but it is
             # deterministic (no RNG) and fine for report percentiles.
-            self._reservoir[self.count % self.RESERVOIR_SIZE] = value
+            reservoir[count % self.RESERVOIR_SIZE] = value
 
     @property
     def mean(self):
@@ -86,10 +100,18 @@ class Histogram:
         return math.sqrt(variance)
 
     def percentile(self, p):
-        """Estimate the ``p``-th percentile (0..100) from the reservoir."""
+        """Estimate the ``p``-th percentile (0..100) from the reservoir.
+
+        The sorted reservoir is cached, so report code querying several
+        percentiles in a row (p50/p99/p999) sorts at most once between
+        samples.
+        """
         if not self._reservoir:
             return 0.0
-        ordered = sorted(self._reservoir)
+        if self._sorted_at != self.count:
+            self._sorted = sorted(self._reservoir)
+            self._sorted_at = self.count
+        ordered = self._sorted
         if p <= 0:
             return ordered[0]
         if p >= 100:
@@ -103,15 +125,35 @@ class Histogram:
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
     def reset(self):
-        """Forget all samples."""
-        self.__init__(self.name)
+        """Forget all samples.
+
+        Fields are reset explicitly rather than by re-calling
+        ``__init__`` so subclasses with richer constructors can reuse it
+        safely.
+        """
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sum_sq = 0.0
+        self._reservoir = []
+        self._sorted = None
+        self._sorted_at = -1
 
     def __repr__(self):
         return "Histogram(%s: n=%d mean=%.1f)" % (self.name, self.count, self.mean)
 
 
 class StatGroup:
-    """A named bag of counters and histograms owned by one component."""
+    """A named bag of counters and histograms owned by one component.
+
+    ``counter(name)`` / ``histogram(name)`` are get-or-create by string
+    key. Hot-path code must not pay that dict lookup per event: bind the
+    returned object to an attribute at construction time and call
+    ``add``/``record`` on the binding (see docs/performance.md and the
+    ``hot-path-stat-lookup`` lint rule). The bound object is the same one
+    the group reports, so snapshots are unaffected.
+    """
 
     def __init__(self, owner):
         self.owner = owner

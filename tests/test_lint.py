@@ -93,6 +93,55 @@ def test_sim_determinism_sanctions_the_wrapper_modules():
                         selected=["sim-determinism"]) == []
 
 
+# -- hot-path-stat-lookup ---------------------------------------------------
+
+def test_hot_path_stat_lookup_flags_hot_methods():
+    source = (
+        "class Hierarchy:\n"
+        "    def load(self, addr):\n"
+        "        self.stats.counter('loads').add(1)\n"
+        "    def _charge(self, ns):\n"
+        "        self.stats.histogram('access_ns').record(ns)\n"
+    )
+    found = findings_for(source, path="src/repro/cache/hierarchy.py",
+                         selected=["hot-path-stat-lookup"])
+    assert found == [("hot-path-stat-lookup", 3),
+                     ("hot-path-stat-lookup", 5)]
+
+
+def test_hot_path_stat_lookup_allows_init_and_cold_methods():
+    source = (
+        "class Hierarchy:\n"
+        "    def __init__(self):\n"
+        "        self._c_loads = self.stats.counter('loads')\n"
+        "    def snapshot(self):\n"
+        "        return self.stats.counter('loads').value\n"
+    )
+    assert findings_for(source, path="src/repro/cache/hierarchy.py",
+                        selected=["hot-path-stat-lookup"]) == []
+
+
+def test_hot_path_stat_lookup_scoped_to_hot_files():
+    source = (
+        "class Report:\n"
+        "    def load(self, addr):\n"
+        "        self.stats.counter('loads').add(1)\n"
+    )
+    assert findings_for(source, path="src/repro/report/tables.py",
+                        selected=["hot-path-stat-lookup"]) == []
+
+
+def test_hot_path_stat_lookup_honours_suppression():
+    source = (
+        "class Hierarchy:\n"
+        "    def load(self, addr):\n"
+        "        self.stats.counter('loads').add(1)"
+        "  # lint: ignore[hot-path-stat-lookup]\n"
+    )
+    assert findings_for(source, path="src/repro/cache/hierarchy.py",
+                        selected=["hot-path-stat-lookup"]) == []
+
+
 # -- mutable-default --------------------------------------------------------
 
 def test_mutable_default_flags_literals_and_constructors():
@@ -144,7 +193,7 @@ def test_unknown_selected_rule_raises_lint_error():
 def test_rule_catalogue_is_registered():
     rules = all_rules()
     assert {"typed-errors", "pm-direct-write", "sim-determinism",
-            "mutable-default"} <= set(rules)
+            "mutable-default", "hot-path-stat-lookup"} <= set(rules)
     for rule_obj in rules.values():
         assert rule_obj.summary
 

@@ -1,0 +1,146 @@
+"""The wall-clock regression harness: cell/matrix runs, report I/O, and
+the compare grading logic (tolerant throughput, exact simulated time)."""
+
+import copy
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfbench import (
+    SCHEMA,
+    compare,
+    load_report,
+    run_cell,
+    run_matrix,
+    write_report,
+)
+from repro.perfbench.__main__ import main
+
+#: Tiny cell sizes: these tests check plumbing, not performance.
+TINY = dict(ops=40, records=16)
+
+
+class TestRunCell:
+    def test_cell_shape(self):
+        cell = run_cell("store_heavy", "dram", **TINY)
+        assert cell["workload"] == "store_heavy"
+        assert cell["backend"] == "dram"
+        assert cell["ops"] == 40
+        assert cell["wall_s"] > 0
+        assert cell["ops_per_sec"] > 0
+        assert cell["sim_ns"] > 0
+
+    def test_sim_ns_is_deterministic_across_repeats(self):
+        # repeats > 1 rebuilds the backend per attempt and asserts the
+        # simulated time is identical — the harness's built-in
+        # determinism check must accept a healthy simulator.
+        cell = run_cell("mixed", "pm_direct", repeats=2, **TINY)
+        single = run_cell("mixed", "pm_direct", repeats=1, **TINY)
+        assert cell["sim_ns"] == single["sim_ns"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            run_cell("scan_heavy", "dram", **TINY)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ConfigError):
+            run_cell("mixed", "dram", repeats=0, **TINY)
+
+
+class TestMatrixAndReportIo:
+    def test_matrix_and_roundtrip(self, tmp_path):
+        seen = []
+        report = run_matrix(workloads=("store_heavy",),
+                            backends=("dram", "pm_direct"),
+                            progress=seen.append, **TINY)
+        assert report["schema"] == SCHEMA
+        assert report["config"]["ops"] == 40
+        assert len(report["results"]) == 2
+        assert len(seen) == 2
+        path = str(tmp_path / "bench.json")
+        write_report(report, path)
+        assert load_report(path) == report
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        with open(path, "w") as handle:
+            handle.write('{"schema": "something/else"}\n')
+        with pytest.raises(ConfigError):
+            load_report(path)
+
+
+def _fake_report(ops_per_sec=1000.0, sim_ns=5000, ops=40):
+    return {
+        "schema": SCHEMA,
+        "config": {"ops": ops, "records": 16, "seed": 42, "repeats": 1,
+                   "workloads": ["store_heavy"], "backends": ["dram"]},
+        "results": [{"workload": "store_heavy", "backend": "dram",
+                     "ops": ops, "wall_s": ops / ops_per_sec,
+                     "ops_per_sec": ops_per_sec, "sim_ns": sim_ns}],
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = _fake_report()
+        assert compare(report, copy.deepcopy(report)) == []
+
+    def test_slowdown_within_tolerance_passes(self):
+        current = _fake_report(ops_per_sec=800.0)
+        assert compare(current, _fake_report(), tolerance=0.30) == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        current = _fake_report(ops_per_sec=500.0)
+        problems = compare(current, _fake_report(), tolerance=0.30)
+        assert len(problems) == 1
+        assert "below" in problems[0]
+
+    def test_sim_ns_drift_fails_even_when_faster(self):
+        current = _fake_report(ops_per_sec=9999.0, sim_ns=5001)
+        problems = compare(current, _fake_report())
+        assert len(problems) == 1
+        assert "behaviour" in problems[0]
+
+    def test_sim_ns_not_compared_across_configs(self):
+        # Different op counts legitimately change simulated time.
+        current = _fake_report(sim_ns=9000, ops=80)
+        assert compare(current, _fake_report()) == []
+
+    def test_unmatched_cells_ignored(self):
+        current = _fake_report()
+        current["results"].append({"workload": "mixed", "backend": "pax",
+                                   "ops": 40, "wall_s": 1.0,
+                                   "ops_per_sec": 40.0, "sim_ns": 1})
+        assert compare(current, _fake_report()) == []
+
+    def test_bad_tolerance_rejected(self):
+        report = _fake_report()
+        with pytest.raises(ConfigError):
+            compare(report, report, tolerance=1.5)
+
+
+class TestCli:
+    def test_run_and_compare_cycle(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        argv = ["--ops", "40", "--records", "16",
+                "--workloads", "store_heavy", "--backends", "dram",
+                "--out", out]
+        assert main(argv) == 0
+        # A fresh run on the same machine compares clean vs itself.
+        assert main(argv + ["--compare", out]) == 0
+        capsys.readouterr()
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        argv = ["--ops", "40", "--records", "16",
+                "--workloads", "store_heavy", "--backends", "dram",
+                "--out", out]
+        assert main(argv) == 0
+        baseline = load_report(out)
+        # Forge an impossible baseline: the fresh run must regress.
+        for cell in baseline["results"]:
+            cell["ops_per_sec"] *= 1e6
+        forged = str(tmp_path / "forged.json")
+        write_report(baseline, forged)
+        assert main(argv + ["--compare", forged]) == 1
+        assert "REGRESSION" in capsys.readouterr().err

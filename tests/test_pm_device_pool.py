@@ -27,6 +27,30 @@ class TestPmDevice:
         assert device.stats.get("lines_written") == 2
         assert device.media_write_bytes == 128
 
+    def test_wear_counter_semantics(self):
+        """Pin the wear-accounting contract across implementations.
+
+        ``line_wear`` behaves as a plain mapping: absent lines read as
+        zero without being materialized, and the summary views
+        (``region_writes``, ``wear_profile``, ``max_line_wear``) agree
+        with the per-line tallies.
+        """
+        device = PmDevice("pm", 4096)
+        device.write(10, b"x" * 100)   # straddles lines 0 and 64
+        device.write(64, b"y" * 64)    # exactly line 64
+        device.write(200, b"z")        # single byte in line 192
+        assert device.line_wear[0] == 1
+        assert device.line_wear[64] == 2
+        assert device.line_wear[192] == 1
+        assert device.line_wear[128] == 0
+        # Reading a cold line must not materialize an entry.
+        assert 128 not in device.line_wear
+        assert device.region_writes(0, 128) == 3
+        assert device.region_writes(128, 128) == 1
+        assert device.region_writes(256, 4096) == 0
+        assert device.wear_profile() == (3, 4, 2)
+        assert device.max_line_wear() == 2
+
     def test_file_backing_roundtrip(self, tmp_path):
         path = str(tmp_path / "pool.pm")
         device = PmDevice("pm", 4096, backing_path=path)

@@ -60,6 +60,33 @@ class TestHistogram:
         assert len(hist._reservoir) <= Histogram.RESERVOIR_SIZE
         assert hist.count == 10000
 
+    def test_reset_restores_pristine_state(self):
+        hist = Histogram("lat")
+        for value in (1.0, 5.0, 9.0):
+            hist.record(value)
+        hist.percentile(50)            # populate the sorted cache too
+        hist.reset()
+        assert hist.count == 0
+        assert hist.total == 0.0
+        assert hist.mean == 0.0
+        assert hist.stddev == 0.0
+        assert hist.percentile(50) == 0.0
+        # A reset histogram must behave exactly like a fresh one.
+        hist.record(3.0)
+        assert (hist.count, hist.mean, hist.min, hist.max) == (1, 3.0, 3.0, 3.0)
+        assert hist.percentile(50) == 3.0
+
+    def test_percentile_cache_invalidated_by_new_samples(self):
+        hist = Histogram("lat")
+        for value in (10.0, 20.0, 30.0):
+            hist.record(value)
+        assert hist.percentile(50) == 20.0
+        assert hist.percentile(100) == 30.0   # served from the cache
+        hist.record(100.0)
+        # New sample must invalidate the cached sort.
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(0) == 10.0
+
 
 class TestStatGroup:
     def test_counter_creation_and_get(self):
