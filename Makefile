@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest lint fuzz fuzz-smoke \
-	perfbench perfbench-compare clean
+.PHONY: install test bench examples quicktest lint staticcheck \
+	fuzz fuzz-smoke perfbench perfbench-compare clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,10 +18,14 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Static analysis: project-specific AST lint rules over the simulator
-# sources (typed errors, PM write discipline, determinism); see
-# docs/analysis-tools.md.
-lint:
+# sources (typed errors, PM write discipline, determinism), then the
+# flow-aware checkers (persist-order dominance, determinism taint,
+# PM-escape) against the committed baseline; see docs/analysis-tools.md.
+lint: staticcheck
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/
+
+staticcheck:
+	PYTHONPATH=src $(PYTHON) -m repro.staticcheck src/repro
 
 # Crash-consistency fuzzing (crash point x fault plan x structure); see
 # docs/faults.md. `fuzz` is the full seeded sweep, `fuzz-smoke` a fast

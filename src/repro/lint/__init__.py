@@ -26,7 +26,10 @@ the :func:`~repro.lint.engine.rule` decorator; see
 
 from repro.lint.engine import (
     LintFinding,
+    SuppressionIndex,
     all_rules,
+    findings_to_json,
+    iter_function_nodes,
     lint_source,
     main,
     rule,
@@ -36,7 +39,10 @@ from repro.lint import rules as _rules  # noqa: F401  (registers the catalogue)
 
 __all__ = [
     "LintFinding",
+    "SuppressionIndex",
     "all_rules",
+    "findings_to_json",
+    "iter_function_nodes",
     "lint_source",
     "main",
     "rule",

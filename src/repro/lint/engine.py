@@ -9,6 +9,7 @@ suppressions, path walking, and the CLI.
 
 import argparse
 import ast
+import json
 import os
 import re
 import sys
@@ -18,6 +19,14 @@ from repro.errors import LintError
 #: ``# lint: ignore`` or ``# lint: ignore[rule-a, rule-b]``.
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<rules>[a-z0-9\-_,\s]*)\])?")
+
+#: Compound statements: a marker inside their (possibly huge) body must
+#: not suppress findings on the header line, so statement-extent lookup
+#: only indexes the simple statements.
+_COMPOUND_STMTS = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.If, ast.For,
+    ast.AsyncFor, ast.While, ast.With, ast.AsyncWith, ast.Try,
+)
 
 _RULES = {}
 
@@ -114,6 +123,74 @@ def _suppressed_rules(line):
     return {item.strip() for item in listed.split(",") if item.strip()}
 
 
+def iter_function_nodes(tree):
+    """Yield every function-like node: defs, async defs, and lambdas.
+
+    ``ast.walk`` order, so nested functions, methods of nested classes,
+    and lambdas buried in expressions are all visited — rules that scope
+    per-function must use this rather than scanning top-level bodies.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            yield node
+
+
+class SuppressionIndex:
+    """Per-file ``# lint: ignore`` lookup, aware of multi-line statements.
+
+    A finding is anchored to the line its AST node *starts* on, but the
+    human editing the file naturally appends the marker to the line they
+    are looking at — which for a wrapped call or a parenthesised
+    expression may be the statement's *last* line. The index therefore
+    honours a marker on the finding line itself, or on the first or last
+    line of the smallest *simple* statement enclosing it. Compound
+    statements (def/if/try/...) are excluded so a marker deep inside a
+    body cannot blanket-suppress its header.
+    """
+
+    def __init__(self, lines, tree=None):
+        self._lines = lines
+        self._extents = []
+        if tree is not None:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.stmt) \
+                        and not isinstance(node, _COMPOUND_STMTS):
+                    end = getattr(node, "end_lineno", None) or node.lineno
+                    if end > node.lineno:
+                        self._extents.append((node.lineno, end))
+
+    def _marker_lines(self, lineno):
+        """Line numbers whose marker may suppress a finding at ``lineno``."""
+        lines = {lineno}
+        best = None
+        for start, end in self._extents:
+            if start <= lineno <= end:
+                if best is None or (end - start) < (best[1] - best[0]):
+                    best = (start, end)
+        if best is not None:
+            lines.update(best)
+        return lines
+
+    def suppressed(self, lineno, rule_id):
+        """True if ``rule_id`` is suppressed for a finding at ``lineno``."""
+        for line_no in self._marker_lines(lineno):
+            if not 0 < line_no <= len(self._lines):
+                continue
+            marks = _suppressed_rules(self._lines[line_no - 1])
+            if marks == "all" or (marks is not None and rule_id in marks):
+                return True
+        return False
+
+
+def findings_to_json(findings):
+    """Serialize findings as a JSON array for machine consumption."""
+    return json.dumps(
+        [{"path": f.path, "line": f.lineno, "col": f.col,
+          "rule": f.rule_id, "message": f.message} for f in findings],
+        indent=2)
+
+
 def lint_source(path, source, selected=None):
     """Lint one source string; returns a list of :class:`LintFinding`.
 
@@ -130,13 +207,11 @@ def lint_source(path, source, selected=None):
         return [LintFinding(path, exc.lineno or 1, exc.offset or 0,
                             "parse-error", str(exc.msg))]
     ctx = LintContext(path, source, tree)
+    suppressions = SuppressionIndex(ctx.lines, tree)
     findings = []
     for rule_obj in rules:
         for lineno, col, message in rule_obj.check(ctx):
-            line = ctx.lines[lineno - 1] if 0 < lineno <= len(ctx.lines) else ""
-            suppressed = _suppressed_rules(line)
-            if suppressed == "all" or \
-                    (suppressed is not None and rule_obj.rule_id in suppressed):
+            if suppressions.suppressed(lineno, rule_obj.rule_id):
                 continue
             findings.append(
                 LintFinding(path, lineno, col, rule_obj.rule_id, message))
@@ -193,6 +268,8 @@ def main(argv=None):
                         help="run only this rule id (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout")
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule_id, rule_obj in sorted(all_rules().items()):
@@ -203,8 +280,11 @@ def main(argv=None):
     except LintError as exc:
         print("lint: error: %s" % exc, file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
     if findings:
         print("lint: %d finding(s)" % len(findings), file=sys.stderr)
         return 1

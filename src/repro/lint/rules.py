@@ -8,7 +8,7 @@ scoping lives here, suppression handling lives in the engine.
 
 import ast
 
-from repro.lint.engine import rule
+from repro.lint.engine import iter_function_nodes, rule
 
 #: Builtins whose ``raise`` the project bans: callers must be able to
 #: catch ``ReproError`` and know they have a simulator failure, not a
@@ -232,10 +232,13 @@ def check_hot_path_stat_lookup(ctx):
       "no mutable default arguments")
 def check_mutable_default(ctx):
     """Flag list/dict/set literals (and their constructors) used as
-    parameter defaults — they are shared across calls."""
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    parameter defaults — they are shared across calls.
+
+    Uses :func:`~repro.lint.engine.iter_function_nodes`, so lambdas and
+    functions nested inside other functions or decorated methods are
+    checked, not just module-level ``def`` bodies.
+    """
+    for node in iter_function_nodes(ctx.tree):
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None]
         for default in defaults:

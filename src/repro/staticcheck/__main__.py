@@ -1,0 +1,8 @@
+"""``python -m repro.staticcheck`` entry point."""
+
+import sys
+
+from repro.staticcheck import main
+
+if __name__ == "__main__":
+    sys.exit(main())

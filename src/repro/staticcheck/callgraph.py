@@ -1,0 +1,178 @@
+"""A module-level project index and best-effort call graph.
+
+The flow checkers are mostly intraprocedural, but two questions need
+cross-function facts:
+
+* determinism taint: "does calling ``helper()`` return a value derived
+  from wall-clock/entropy?" — so a call to a *locally defined or
+  imported* tainted function is itself a taint source;
+* PM escape: "is this callee defined in the current module, imported
+  from a sanctioned owner, or foreign?"
+
+:class:`ProjectIndex` parses every file once, records per-module
+imports (local name → source module), top-level functions and methods,
+and name-resolved call edges. Resolution is intentionally name-based
+and conservative — Python's dynamism makes a sound call graph
+impossible, and an over-approximate edge only ever makes the checkers
+*more* suspicious, never silently blind.
+"""
+
+import ast
+import os
+
+
+def module_key(path):
+    """A stable module key for ``path``.
+
+    Files inside a ``repro`` package get their dotted module path
+    (``repro.structures.hashmap``); anything else falls back to the
+    normalized file path, which is unique enough for fixture trees.
+    """
+    norm = path.replace(os.sep, "/")
+    marker = "/repro/"
+    index = norm.rfind(marker)
+    if index >= 0:
+        relative = "repro/" + norm[index + len(marker):]
+    elif norm.startswith("repro/"):
+        relative = norm
+    else:
+        relative = norm
+    if relative.endswith(".py"):
+        relative = relative[:-3]
+    if relative.endswith("/__init__"):
+        relative = relative[:-len("/__init__")]
+    return relative.replace("/", ".")
+
+
+class FunctionInfo:
+    """One function or method: its AST node and resolved call targets."""
+
+    __slots__ = ("qualname", "node", "calls")
+
+    def __init__(self, qualname, node):
+        self.qualname = qualname
+        self.node = node
+        #: Callee descriptors: ``("local", name)`` for same-module
+        #: functions, ``("import", module, name)`` for imported names,
+        #: ``("attr", attr)`` for method-style calls.
+        self.calls = []
+
+    def __repr__(self):
+        return "FunctionInfo(%s, %d calls)" % (self.qualname,
+                                               len(self.calls))
+
+
+class ModuleInfo:
+    """Per-module facts: imports, defined functions, call edges."""
+
+    def __init__(self, key, path, tree):
+        self.key = key
+        self.path = path
+        self.tree = tree
+        #: local name -> source module (``import x.y`` binds ``x``;
+        #: ``from a.b import c as d`` binds ``d`` -> ``a.b``).
+        self.imports = {}
+        #: local name -> original name in the source module (for
+        #: ``from a import b as c`` this maps ``c`` -> ``b``).
+        self.import_orig = {}
+        #: qualname ("f" or "Cls.f") -> FunctionInfo.
+        self.functions = {}
+        self._collect()
+
+    def _collect(self):
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = alias.name
+                    self.import_orig[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = node.module
+                    self.import_orig[local] = alias.name
+        self._walk_scope(self.tree.body, prefix="")
+
+    def _walk_scope(self, body, prefix):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + node.name
+                info = FunctionInfo(qualname, node)
+                self._record_calls(node, info)
+                self.functions[qualname] = info
+                # Plain name too, so ``self.helper()``-style resolution
+                # by bare name can find methods.
+                self.functions.setdefault(node.name, info)
+            elif isinstance(node, ast.ClassDef):
+                self._walk_scope(node.body, prefix=node.name + ".")
+
+    def _record_calls(self, func, info):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name):
+                if callee.id in self.imports:
+                    info.calls.append(
+                        ("import", self.imports[callee.id],
+                         self.import_orig.get(callee.id, callee.id)))
+                else:
+                    info.calls.append(("local", callee.id))
+            elif isinstance(callee, ast.Attribute):
+                info.calls.append(("attr", callee.attr))
+
+
+class ProjectIndex:
+    """All modules of one run, keyed by :func:`module_key`."""
+
+    def __init__(self):
+        self.modules = {}
+
+    @classmethod
+    def build(cls, sources):
+        """Index ``sources``: an iterable of ``(path, source)`` pairs.
+
+        Unparseable files are skipped — the engine reports them as
+        ``parse-error`` findings separately.
+        """
+        index = cls()
+        for path, source in sources:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            info = ModuleInfo(module_key(path), path, tree)
+            index.modules[info.key] = info
+        return index
+
+    def module_for(self, path):
+        """The ModuleInfo for ``path`` (or None)."""
+        return self.modules.get(module_key(path))
+
+    def resolve(self, module, callee):
+        """Resolve a callee descriptor to a FunctionInfo, or None.
+
+        ``("local", f)`` looks in ``module``; ``("import", mod, f)``
+        follows the import to another indexed module; ``("attr", a)``
+        resolves by bare method name within ``module`` only (methods on
+        foreign objects are opaque).
+        """
+        kind = callee[0]
+        if kind == "local":
+            return module.functions.get(callee[1])
+        if kind == "import":
+            target = self.modules.get(callee[1])
+            if target is not None:
+                return target.functions.get(callee[2])
+            return None
+        return module.functions.get(callee[1])
+
+    def call_edges(self):
+        """Iterate ``(caller_module, caller_func, callee_func)`` over every
+        resolvable edge — the module-level call graph."""
+        for module in self.modules.values():
+            for info in module.functions.values():
+                for callee in info.calls:
+                    resolved = self.resolve(module, callee)
+                    if resolved is not None:
+                        yield module, info, resolved

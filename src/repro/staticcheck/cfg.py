@@ -1,0 +1,335 @@
+"""Per-function control-flow graphs over Python ASTs.
+
+The flow-aware checkers (:mod:`repro.staticcheck.checkers`) need to
+reason about *paths* — "is every store preceded by an open transaction
+on **all** paths?" — which the flat ``ast.walk`` view the syntactic
+linter uses cannot answer. :func:`build_cfg` lowers one function body
+into basic blocks connected by control-flow edges, covering the
+constructs the repro tree actually uses: ``if``/``elif``/``else``,
+``while``/``for`` (with ``else``), ``try``/``except``/``else``/
+``finally``, ``with``, ``break``/``continue``/``return``/``raise``.
+
+Blocks hold *events*, not raw statements, so downstream transfer
+functions see control-relevant structure without re-deriving it:
+
+``("stmt", node)``
+    A simple statement (assignment, expression, return, ...).
+``("test", expr)``
+    A branch or loop condition being evaluated.
+``("for", node)``
+    The loop-header binding of ``node.target`` from ``node.iter``.
+``("with-enter", node)`` / ``("with-exit", node)``
+    Entry to / normal exit from a ``with`` block — gate checkers treat
+    these as scope delimiters.
+``("except", handler)``
+    Entry into an exception handler (binds ``handler.name``).
+
+Exception edges are approximated conservatively: every block created
+while lowering a ``try`` body gets an edge to every handler, so a
+must-analysis never assumes a fact that only holds if the body ran to
+completion.
+"""
+
+import ast
+
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Pass,
+    ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal, ast.Delete,
+    ast.Assert,
+)
+
+
+class Block:
+    """One basic block: an ordered event list plus CFG edges."""
+
+    __slots__ = ("index", "events", "successors", "predecessors")
+
+    def __init__(self, index):
+        self.index = index
+        self.events = []
+        self.successors = []
+        self.predecessors = []
+
+    def add(self, kind, node):
+        """Append one ``(kind, node)`` event to the block."""
+        self.events.append((kind, node))
+
+    def __repr__(self):
+        kinds = ",".join(kind for kind, _ in self.events)
+        return "Block(%d, [%s], ->%s)" % (
+            self.index, kinds, [b.index for b in self.successors])
+
+
+class CFG:
+    """A function's control-flow graph.
+
+    ``entry`` is the unique entry block, ``exit`` a virtual block every
+    terminating path (fall-off, ``return``, uncaught ``raise``) reaches.
+    """
+
+    def __init__(self, func, blocks, entry, exit_block):
+        self.func = func
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_block
+
+    def reverse_postorder(self):
+        """Blocks in reverse postorder from the entry (loop-friendly
+        iteration order for forward dataflow)."""
+        seen = set()
+        order = []
+
+        stack = [(self.entry, iter(self.entry.successors))]
+        seen.add(self.entry)
+        while stack:
+            block, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, iter(successor.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        return order
+
+
+class _Frame:
+    """Loop bookkeeping: where ``break`` and ``continue`` jump."""
+
+    __slots__ = ("break_target", "continue_target")
+
+    def __init__(self, break_target, continue_target):
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class _CfgBuilder:
+
+    def __init__(self, func):
+        self.func = func
+        self.blocks = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.loops = []
+        #: Stack of handler-entry block lists for enclosing ``try``s.
+        self.handlers = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _new_block(self):
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def _connect(src, dst):
+        if dst not in src.successors:
+            src.successors.append(dst)
+            dst.predecessors.append(src)
+
+    def _guard_block(self, block):
+        """Wire exception edges for a block living inside ``try`` bodies."""
+        for handler_entries in self.handlers:
+            for handler_entry in handler_entries:
+                self._connect(block, handler_entry)
+
+    # -- lowering ---------------------------------------------------------
+
+    def build(self):
+        current = self.entry
+        current = self._body(self.func.body, current)
+        if current is not None:
+            self._connect(current, self.exit)
+        return CFG(self.func, self.blocks, self.entry, self.exit)
+
+    def _body(self, statements, current):
+        """Lower a statement list; returns the live fall-through block or
+        None when every path left (return/raise/break/continue)."""
+        for statement in statements:
+            if current is None:
+                # Unreachable code after a jump: park it in a fresh,
+                # disconnected block so its events still exist.
+                current = self._new_block()
+            current = self._statement(statement, current)
+        return current
+
+    def _statement(self, node, current):
+        if isinstance(node, ast.If):
+            return self._if(node, current)
+        if isinstance(node, ast.While):
+            return self._while(node, current)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._for(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, current)
+        if isinstance(node, ast.Try):
+            return self._try(node, current)
+        if isinstance(node, ast.Return):
+            current.add("stmt", node)
+            self._guard_block(current)
+            self._connect(current, self.exit)
+            return None
+        if isinstance(node, ast.Raise):
+            current.add("stmt", node)
+            self._guard_block(current)
+            if not self.handlers:
+                self._connect(current, self.exit)
+            return None
+        if isinstance(node, ast.Break):
+            current.add("stmt", node)
+            if self.loops:
+                self._connect(current, self.loops[-1].break_target)
+            return None
+        if isinstance(node, ast.Continue):
+            current.add("stmt", node)
+            if self.loops:
+                self._connect(current, self.loops[-1].continue_target)
+            return None
+        # Nested defs/classes and all simple statements are single events;
+        # nested function bodies get their own CFG when the engine visits
+        # them, so we do not descend here.
+        current.add("stmt", node)
+        if isinstance(node, _SIMPLE_STMTS) or isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self._guard_block(current)
+        return current
+
+    def _if(self, node, current):
+        current.add("test", node.test)
+        self._guard_block(current)
+        join = self._new_block()
+
+        then_entry = self._new_block()
+        self._connect(current, then_entry)
+        then_end = self._body(node.body, then_entry)
+        if then_end is not None:
+            self._connect(then_end, join)
+
+        if node.orelse:
+            else_entry = self._new_block()
+            self._connect(current, else_entry)
+            else_end = self._body(node.orelse, else_entry)
+            if else_end is not None:
+                self._connect(else_end, join)
+        else:
+            self._connect(current, join)
+
+        return join if join.predecessors else None
+
+    def _while(self, node, current):
+        head = self._new_block()
+        self._connect(current, head)
+        head.add("test", node.test)
+        self._guard_block(head)
+        after = self._new_block()
+
+        body_entry = self._new_block()
+        self._connect(head, body_entry)
+        self.loops.append(_Frame(after, head))
+        body_end = self._body(node.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            self._connect(body_end, head)
+
+        if node.orelse:
+            else_entry = self._new_block()
+            self._connect(head, else_entry)
+            else_end = self._body(node.orelse, else_entry)
+            if else_end is not None:
+                self._connect(else_end, after)
+        else:
+            self._connect(head, after)
+        return after if after.predecessors else None
+
+    def _for(self, node, current):
+        head = self._new_block()
+        self._connect(current, head)
+        head.add("for", node)
+        self._guard_block(head)
+        after = self._new_block()
+
+        body_entry = self._new_block()
+        self._connect(head, body_entry)
+        self.loops.append(_Frame(after, head))
+        body_end = self._body(node.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            self._connect(body_end, head)
+
+        if node.orelse:
+            else_entry = self._new_block()
+            self._connect(head, else_entry)
+            else_end = self._body(node.orelse, else_entry)
+            if else_end is not None:
+                self._connect(else_end, after)
+        else:
+            self._connect(head, after)
+        return after if after.predecessors else None
+
+    def _with(self, node, current):
+        current.add("with-enter", node)
+        self._guard_block(current)
+        body_end = self._body(node.body, current)
+        if body_end is None:
+            return None
+        body_end.add("with-exit", node)
+        return body_end
+
+    def _try(self, node, current):
+        handler_entries = []
+        for handler in node.handlers:
+            handler_entry = self._new_block()
+            handler_entry.add("except", handler)
+            handler_entries.append(handler_entry)
+
+        join = self._new_block()
+
+        # Body: every block lowered while the handler frame is pushed
+        # gets exception edges to every handler.
+        body_entry = self._new_block()
+        self._connect(current, body_entry)
+        self.handlers.append(handler_entries)
+        self._guard_block(body_entry)
+        body_end = self._body(node.body, body_entry)
+        self.handlers.pop()
+
+        if node.orelse:
+            if body_end is not None:
+                else_entry = self._new_block()
+                self._connect(body_end, else_entry)
+                body_end = self._body(node.orelse, else_entry)
+
+        ends = []
+        if body_end is not None:
+            ends.append(body_end)
+        for handler, handler_entry in zip(node.handlers, handler_entries):
+            handler_end = self._body(handler.body, handler_entry)
+            if handler_end is not None:
+                ends.append(handler_end)
+
+        if node.finalbody:
+            final_entry = self._new_block()
+            for end in ends:
+                self._connect(end, final_entry)
+            if not ends:
+                # All paths jumped, but the finaliser still runs on the
+                # exceptional path; keep it reachable conservatively.
+                self._connect(current, final_entry)
+            final_end = self._body(node.finalbody, final_entry)
+            if final_end is None:
+                return None
+            self._connect(final_end, join)
+        else:
+            for end in ends:
+                self._connect(end, join)
+
+        return join if join.predecessors else None
+
+
+def build_cfg(func):
+    """Build the :class:`CFG` for one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return _CfgBuilder(func).build()

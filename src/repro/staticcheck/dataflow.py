@@ -1,0 +1,158 @@
+"""Generic forward dataflow over :mod:`repro.staticcheck.cfg` graphs.
+
+Two reusable pieces:
+
+* :class:`ForwardAnalysis` — a worklist fixpoint solver parameterised by
+  a lattice (``boundary``/``top``/``meet``) and a per-event ``transfer``
+  function. Both *may* analyses (taint: meet = union, start empty) and
+  *must* analyses (gate dominance: meet = intersection, start ⊤) fit.
+* :func:`dominators` — classic iterative dominator sets, the "on all
+  paths before" relation the persist-order checker's argument is phrased
+  in (a block B dominates C iff every path from entry to C passes B).
+
+Facts must be immutable values supporting ``==`` (frozensets in every
+built-in checker); ``TOP`` is a distinguished "not yet reached /
+no constraint" element the solver understands natively so transfer
+functions never see it.
+"""
+
+from repro.errors import LintError
+
+#: Lattice top: the fact of a block the solver has not reached yet.
+TOP = object()
+
+
+class ForwardAnalysis:
+    """Worklist solver for forward dataflow problems.
+
+    Subclasses override :meth:`boundary` (fact at function entry),
+    :meth:`meet` (combine facts at a join), and :meth:`transfer`
+    (fact after one event). ``solve`` returns ``{block: in_fact}``;
+    callers then re-apply ``transfer`` event by event inside a block to
+    inspect intermediate program points (that is how checkers locate the
+    exact offending statement).
+    """
+
+    #: Safety valve: a function whose CFG needs more sweeps than this is
+    #: malformed (the repro tree converges in < 10).
+    MAX_ITERATIONS = 200
+
+    def boundary(self):
+        """The fact holding at function entry."""
+        raise NotImplementedError
+
+    def meet(self, left, right):
+        """Combine two incoming facts at a control-flow join."""
+        raise NotImplementedError
+
+    def transfer(self, fact, kind, node):
+        """The fact after event ``(kind, node)`` given ``fact`` before it."""
+        raise NotImplementedError
+
+    # -- solver -----------------------------------------------------------
+
+    def _meet_top(self, left, right):
+        if left is TOP:
+            return right
+        if right is TOP:
+            return left
+        return self.meet(left, right)
+
+    def block_out(self, fact, block):
+        """Apply every event of ``block`` to ``fact``."""
+        for kind, node in block.events:
+            fact = self.transfer(fact, kind, node)
+        return fact
+
+    def solve(self, cfg):
+        """Fixpoint; returns ``{block: fact-at-block-entry}``."""
+        order = cfg.reverse_postorder()
+        in_facts = {block: TOP for block in cfg.blocks}
+        in_facts[cfg.entry] = self.boundary()
+        out_facts = {block: TOP for block in cfg.blocks}
+
+        iterations = 0
+        changed = True
+        while changed:
+            iterations += 1
+            if iterations > self.MAX_ITERATIONS:
+                raise LintError(
+                    "dataflow did not converge in %d sweeps over %r"
+                    % (self.MAX_ITERATIONS, getattr(cfg.func, "name", "?")))
+            changed = False
+            for block in order:
+                incoming = in_facts[block] if block is cfg.entry else TOP
+                for predecessor in block.predecessors:
+                    incoming = self._meet_top(incoming,
+                                              out_facts[predecessor])
+                if incoming is TOP:
+                    continue
+                if incoming != in_facts[block]:
+                    in_facts[block] = incoming
+                    changed = True
+                outgoing = self.block_out(incoming, block)
+                if outgoing != out_facts[block]:
+                    out_facts[block] = outgoing
+                    changed = True
+        return in_facts
+
+
+class SetUnionAnalysis(ForwardAnalysis):
+    """Convenience base for may-analyses over frozensets (meet = union)."""
+
+    def boundary(self):
+        return frozenset()
+
+    def meet(self, left, right):
+        return left | right
+
+
+class SetIntersectAnalysis(ForwardAnalysis):
+    """Convenience base for must-analyses over frozensets (meet = ∩)."""
+
+    def boundary(self):
+        return frozenset()
+
+    def meet(self, left, right):
+        return left & right
+
+
+def dominators(cfg):
+    """Dominator sets ``{block: set of blocks dominating it}``.
+
+    The entry dominates everything; unreachable blocks dominate nothing
+    and are reported as dominated only by themselves.
+    """
+    order = cfg.reverse_postorder()
+    reachable = set(order)
+    every = frozenset(order)
+    dom = {}
+    for block in cfg.blocks:
+        if block is cfg.entry:
+            dom[block] = {block}
+        elif block in reachable:
+            dom[block] = set(every)
+        else:
+            dom[block] = {block}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is cfg.entry:
+                continue
+            new = None
+            for predecessor in block.predecessors:
+                if predecessor not in reachable:
+                    continue
+                if new is None:
+                    new = set(dom[predecessor])
+                else:
+                    new &= dom[predecessor]
+            if new is None:
+                new = set()
+            new.add(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom

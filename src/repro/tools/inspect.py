@@ -35,8 +35,12 @@ _ROOT_KIND_NAMES = {
 }
 
 
-def open_pool_file(path):
-    """Open ``path`` read-only as a (device, pool) pair."""
+def _open_pool_file(path):
+    """Open ``path`` read-only as a (device, pool) pair.
+
+    Module-private on purpose: the raw device must not leave this
+    module (``pm-escape``); the public surface is :func:`inspect_pool`.
+    """
     size = os.path.getsize(path)
     if size < 2 * PAGE_SIZE:
         raise PoolError("%s is too small to be a pool file" % path)
@@ -46,7 +50,7 @@ def open_pool_file(path):
 
 def inspect_pool(path):
     """Return a dict describing the pool's durable state."""
-    device, pool = open_pool_file(path)
+    device, pool = _open_pool_file(path)
     info = {
         "path": path,
         "size_bytes": device.size,

@@ -1,0 +1,23 @@
+"""Seeded ``pm-escape`` violations.
+
+Raw device objects leak out of this (non-owner) module: through a
+public return, a public attribute, and an argument to a foreign-module
+call — including through an alias.  The test suite asserts staticcheck
+reports exactly these lines; ``escape_clean.py`` must report none.
+"""
+
+from repro.pm.device import PmDevice
+from repro.workloads.ycsb import run_workload
+
+
+class PoolHandle:
+    def open(self, path, size):
+        device = PmDevice(path, size_bytes=size)
+        self.device = device  # VIOLATION: raw device on a public attribute
+        return device  # VIOLATION: raw device via a public return
+
+
+def benchmark(path, size):
+    dev = PmDevice(path, size_bytes=size)
+    handle = dev
+    run_workload(handle)  # VIOLATION: aliased raw device to foreign module

@@ -1,0 +1,26 @@
+"""Clean twin of ``escape_bad.py``.
+
+Raw devices stay private, get wrapped in a ``repro.mem`` accessor
+before leaving, or are handed to an owner-subsystem constructor that
+takes ownership.  The test suite asserts staticcheck reports nothing
+here.
+"""
+
+from repro.libpax.machine import HostMachine
+from repro.mem.accessor import RawAccessor
+from repro.pm.device import PmDevice
+
+
+class PoolHandle:
+    def open(self, path, size):
+        device = PmDevice(path, size_bytes=size)
+        self._device = device
+        return RawAccessor(device)
+
+    def _raw(self):
+        return self._device
+
+
+def build_machine(path, size):
+    dev = PmDevice(path, size_bytes=size)
+    return HostMachine(pm_device=dev)

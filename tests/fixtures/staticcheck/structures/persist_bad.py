@@ -1,0 +1,62 @@
+"""Seeded ``persist-order`` violations.
+
+Every function here stores to PM through an accessor on at least one
+path that is NOT dominated by an open tx/persist gate.  The test suite
+asserts staticcheck reports exactly these lines; the clean twin
+(``persist_clean.py``) must report none.
+"""
+
+
+class BranchGate:
+    """Gate opened on only one branch: the else-path store is bare."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def put(self, slot, value, durable):
+        if durable:
+            self._tx.begin(slot)
+        self._mem.write_u64(slot * 8, value)  # VIOLATION: else path ungated
+        if durable:
+            self._tx.end()
+
+
+class ClosedGate:
+    """Store issued after the gate has already been committed."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def put(self, slot, value):
+        self._tx.begin(slot)
+        self._mem.write_u64(slot * 8, value)
+        self._tx.end()
+        self._mem.write_u64(0, slot)  # VIOLATION: gate already closed
+
+
+class AliasStore:
+    """Bound-store alias used with no gate anywhere in the function."""
+
+    def __init__(self, mem):
+        self._mem = mem
+        self._write_u64 = mem.write_u64
+
+    def stamp(self, offset, value):
+        write = self._write_u64
+        write(offset, value)  # VIOLATION: aliased store, never gated
+
+
+class LoopGate:
+    """Gate opened only after the first loop iteration has stored."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def fill(self, count):
+        for index in range(count):
+            self._mem.write_u64(index * 8, index)  # VIOLATION: 1st iter bare
+            self._tx.begin(index)
+        self._tx.end()

@@ -1,0 +1,76 @@
+"""Clean twin of ``persist_bad.py``.
+
+Same shapes — branches, loops, aliased bound stores, context managers —
+but every accessor store is dominated by an open gate on all paths.
+The test suite asserts staticcheck reports nothing here.
+"""
+
+
+class BranchGate:
+    """Gate opened on both branches before either store."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def put(self, slot, value, wide):
+        self._tx.begin(slot)
+        if wide:
+            self._mem.write_bytes(slot * 8, value)
+        else:
+            self._mem.write_u64(slot * 8, value)
+        self._tx.end()
+
+
+class WithGate:
+    """Context-manager gate covering the whole store sequence."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def put(self, slot, value):
+        with self._tx.transaction():
+            self._mem.write_u64(slot * 8, value)
+            self._mem.write_u64(0, slot)
+
+
+class WalGate:
+    """Undo-log append acts as the gate (WAL-style backend)."""
+
+    def __init__(self, mem, wal):
+        self._mem = mem
+        self._wal = wal
+
+    def put(self, slot, value):
+        self._wal.append(slot, value)
+        self._mem.write_u64(slot * 8, value)
+
+
+class LoopGate:
+    """Gate opened once before the loop; stays open on the back edge."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+
+    def fill(self, count):
+        self._tx.begin(0)
+        for index in range(count):
+            self._mem.write_u64(index * 8, index)
+        self._tx.end()
+
+
+class AliasStore:
+    """Aliased bound store, but inside an open gate."""
+
+    def __init__(self, mem, tx):
+        self._mem = mem
+        self._tx = tx
+        self._write_u64 = mem.write_u64
+
+    def stamp(self, offset, value):
+        write = self._write_u64
+        self._tx.begin(offset)
+        write(offset, value)
+        self._tx.end()

@@ -1,0 +1,37 @@
+"""Seeded ``det-taint`` violations.
+
+Nondeterministic values (wall clock, OS entropy, unordered-container
+iteration order) flow — possibly through assignments and a local helper
+— into simulated state.  The test suite asserts staticcheck reports
+exactly these sink lines; ``taint_clean.py`` must report none.
+"""
+
+import os
+import time
+
+
+def _entropy():
+    """Local helper whose return value is tainted (summary-based)."""
+    return time.time_ns()
+
+
+def drive(clock):
+    start = time.time()
+    delay = start * 2
+    clock.advance(delay)  # VIOLATION: wall clock -> sim clock
+
+
+def reseed(rng):
+    raw = os.urandom(8)
+    rng.seed(raw)  # VIOLATION: OS entropy -> simulated RNG
+
+
+def schedule_jitter(scheduler):
+    jitter = _entropy()
+    scheduler.schedule(jitter)  # VIOLATION: via helper return summary
+
+
+def replay(events, link):
+    pending = set(events)
+    for message in pending:
+        link.send(message)  # VIOLATION: set iteration order

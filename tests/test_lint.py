@@ -2,6 +2,7 @@
 suppression syntax, module sanctioning, the CLI, and — the point of the
 whole exercise — that the real source tree lints clean."""
 
+import json
 import os
 
 import pytest
@@ -161,6 +162,30 @@ def test_mutable_default_allows_none_and_immutables():
     assert findings_for(source, selected=["mutable-default"]) == []
 
 
+def test_mutable_default_in_lambdas_and_nested_defs():
+    source = (
+        "def outer():\n"
+        "    callback = lambda x=[]: x\n"
+        "    def inner(y={}):\n"
+        "        return y\n"
+        "    return callback, inner\n"
+    )
+    found = findings_for(source, selected=["mutable-default"])
+    assert [rule_id for rule_id, _ in found] == ["mutable-default",
+                                                 "mutable-default"]
+
+
+def test_mutable_default_in_decorated_methods():
+    source = (
+        "class C:\n"
+        "    @staticmethod\n"
+        "    def m(x=[]):\n"
+        "        return x\n"
+    )
+    found = findings_for(source, selected=["mutable-default"])
+    assert [rule_id for rule_id, _ in found] == ["mutable-default"]
+
+
 # -- engine behaviour -------------------------------------------------------
 
 def test_suppression_bare_and_per_rule():
@@ -177,6 +202,32 @@ def test_suppression_bare_and_per_rule():
     assert findings_for(scoped) == []
     assert findings_for(multi) == []
     assert findings_for(wrong) == [("typed-errors", 2)]
+
+
+def test_suppression_on_multiline_statements():
+    # The finding is reported at the statement's first line; the marker
+    # may sit on the first OR the last physical line of the statement.
+    on_last = (
+        "def f():\n"
+        "    raise ValueError(\n"
+        "        'x'\n"
+        "    )  # lint: ignore[typed-errors]\n"
+    )
+    on_first = (
+        "def f():\n"
+        "    raise ValueError(  # lint: ignore[typed-errors]\n"
+        "        'x'\n"
+        "    )\n"
+    )
+    in_middle = (
+        "def f():\n"
+        "    raise ValueError(\n"
+        "        'x'  # lint: ignore[typed-errors]\n"
+        "    )\n"
+    )
+    assert findings_for(on_last) == []
+    assert findings_for(on_first) == []
+    assert findings_for(in_middle) == [("typed-errors", 2)]
 
 
 def test_parse_error_is_a_finding_not_an_exception():
@@ -212,6 +263,23 @@ def test_cli_exit_codes(tmp_path, capsys):
     assert "dirty.py:2:" in out and "typed-errors" in out
     assert main(["--select", "no-such-rule", str(clean)]) == 2
     assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f():\n    raise ValueError('x')\n")
+    assert main(["--json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert sorted(entry) == ["col", "line", "message", "path", "rule"]
+    assert entry["rule"] == "typed-errors"
+    assert entry["line"] == 2
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x=None):\n    return x\n")
+    assert main(["--json", str(clean)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
 
 
 def test_cli_list_rules(capsys):

@@ -1,0 +1,189 @@
+"""CFG construction: block/edge shapes for the control constructs the
+checkers rely on, plus dominator sets."""
+
+import ast
+import textwrap
+
+from repro.staticcheck import build_cfg, dominators
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def block_of(cfg, node_type):
+    """The unique block holding a "stmt" event of ``node_type``."""
+    matches = [block for block in cfg.blocks
+               if any(kind == "stmt" and isinstance(node, node_type)
+                      for kind, node in block.events)]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def blocks_with_event(cfg, wanted):
+    return [block for block in cfg.blocks
+            if any(kind == wanted for kind, _ in block.events)]
+
+
+def test_linear_function_is_one_block_to_exit():
+    cfg = cfg_of("""
+        def f():
+            a = 1
+            b = 2
+            return a + b
+    """)
+    assert cfg.entry.successors == [cfg.exit]
+    assert [kind for kind, _ in cfg.entry.events] == ["stmt", "stmt", "stmt"]
+
+
+def test_if_else_builds_a_diamond():
+    cfg = cfg_of("""
+        def f(p):
+            if p:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    assert len(cfg.entry.successors) == 2
+    join = block_of(cfg, ast.Return)
+    assert len(join.predecessors) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("""
+        def f(p):
+            if p:
+                x = 1
+            return p
+    """)
+    join = block_of(cfg, ast.Return)
+    # One edge from the then-arm, one straight from the test block.
+    assert len(join.predecessors) == 2
+    assert cfg.entry in join.predecessors
+
+
+def test_while_loop_has_a_back_edge():
+    cfg = cfg_of("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    (head,) = blocks_with_event(cfg, "test")
+    body = block_of(cfg, ast.Assign)
+    assert head in body.successors          # back edge
+    assert len(head.predecessors) == 2      # entry path + back edge
+
+
+def test_for_loop_header_event_and_back_edge():
+    cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                x = item
+            return x
+    """)
+    (head,) = blocks_with_event(cfg, "for")
+    body = block_of(cfg, ast.Assign)
+    assert head in body.successors
+
+
+def test_break_jumps_past_the_loop():
+    cfg = cfg_of("""
+        def f(n):
+            while True:
+                if n:
+                    break
+                n = 1
+            return n
+    """)
+    after = block_of(cfg, ast.Return)
+    break_block = block_of(cfg, ast.Break)
+    assert after in break_block.successors
+
+
+def test_code_after_return_is_disconnected():
+    cfg = cfg_of("""
+        def f():
+            return 1
+            x = 2
+    """)
+    dead = block_of(cfg, ast.Assign)
+    assert dead.predecessors == []
+    assert dead is not cfg.entry
+
+
+def test_try_body_has_exception_edges_to_handlers():
+    cfg = cfg_of("""
+        def f(mem):
+            try:
+                mem.write(0, 1)
+            except KeyError:
+                mem.flush()
+            return 0
+    """)
+    (handler,) = blocks_with_event(cfg, "except")
+    body = [block for block in cfg.blocks
+            if any(kind == "stmt" and isinstance(node, ast.Expr)
+                   for kind, node in block.events)
+            and handler in block.successors]
+    assert body, "try-body block should have an edge to the handler"
+
+
+def test_with_enter_and_exit_events():
+    cfg = cfg_of("""
+        def f(tx, mem):
+            with tx.transaction():
+                mem.write(0, 1)
+            return 0
+    """)
+    assert blocks_with_event(cfg, "with-enter")
+    assert blocks_with_event(cfg, "with-exit")
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = cfg_of("""
+        def f(p):
+            if p:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    order = cfg.reverse_postorder()
+    assert order[0] is cfg.entry
+    assert cfg.exit in order
+
+
+def test_dominators_on_a_diamond():
+    cfg = cfg_of("""
+        def f(p):
+            if p:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    dom = dominators(cfg)
+    join = block_of(cfg, ast.Return)
+    then_arm = [block for block in cfg.blocks
+                if any(kind == "stmt" and isinstance(node, ast.Assign)
+                       for kind, node in block.events)][0]
+    assert cfg.entry in dom[join]
+    assert then_arm not in dom[join]
+
+
+def test_dominators_through_a_loop():
+    cfg = cfg_of("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    dom = dominators(cfg)
+    (head,) = blocks_with_event(cfg, "test")
+    after = block_of(cfg, ast.Return)
+    body = block_of(cfg, ast.Assign)
+    assert head in dom[body]
+    assert head in dom[after]

@@ -1,0 +1,156 @@
+"""The staticcheck CLI: the 0/1/2 exit-code contract it shares with
+repro.lint, --json output, the baseline workflow, and — the acceptance
+criterion — that the real tree is clean against the committed baseline."""
+
+import json
+import os
+
+from repro.lint import main as lint_main
+from repro.staticcheck import main, path_key
+
+import repro
+
+SRC_REPRO = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "staticcheck-baseline.txt")
+
+UNGATED = (
+    "class S:\n"
+    "    def put(self, k, v):\n"
+    "        self._mem.write_u64(k, v)\n"
+)
+
+
+def dirty_file(tmp_path):
+    """An ungated store in a ``structures/`` package (in checker scope)."""
+    pkg = tmp_path / "structures"
+    pkg.mkdir(exist_ok=True)
+    target = pkg / "bad.py"
+    target.write_text(UNGATED)
+    return target
+
+
+def clean_file(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("def f(x):\n    return x\n")
+    return target
+
+
+# -- exit codes -------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = clean_file(tmp_path)
+    dirty = dirty_file(tmp_path)
+
+    assert main(["--no-baseline", str(clean)]) == 0
+    assert main(["--no-baseline", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:3:" in out and "persist-order" in out
+    assert main(["--select", "no-such-checker", str(clean)]) == 2
+    assert main(["--no-baseline", str(tmp_path / "missing.py")]) == 2
+
+
+def test_exit_code_contract_is_shared_with_lint(tmp_path, capsys):
+    """Both tools: 0 clean, 1 findings, 2 usage error."""
+    static_clean = clean_file(tmp_path)
+    static_dirty = dirty_file(tmp_path)
+    lint_dirty = tmp_path / "lint_dirty.py"
+    lint_dirty.write_text("def f():\n    raise ValueError('x')\n")
+
+    for tool, clean, dirty, bad_flag in (
+            (lint_main, static_clean, lint_dirty,
+             ["--select", "no-such-rule"]),
+            (lambda argv: main(["--no-baseline"] + argv),
+             static_clean, static_dirty,
+             ["--select", "no-such-checker"])):
+        assert tool([str(clean)]) == 0
+        assert tool([str(dirty)]) == 1
+        assert tool(bad_flag + [str(clean)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_checkers(capsys):
+    assert main(["--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    assert "persist-order" in out
+    assert "det-taint" in out
+    assert "pm-escape" in out
+
+
+# -- JSON output ------------------------------------------------------------
+
+def test_cli_json_findings(tmp_path, capsys):
+    dirty = dirty_file(tmp_path)
+    assert main(["--json", "--no-baseline", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert sorted(entry) == ["col", "line", "message", "path", "rule"]
+    assert entry["rule"] == "persist-order"
+    assert entry["line"] == 3
+
+
+def test_cli_json_empty_array_when_clean(tmp_path, capsys):
+    clean = clean_file(tmp_path)
+    assert main(["--json", "--no-baseline", str(clean)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+# -- baseline workflow ------------------------------------------------------
+
+def test_baseline_roundtrip_accepts_then_catches_regressions(tmp_path,
+                                                             capsys):
+    dirty = dirty_file(tmp_path)
+    baseline = tmp_path / "baseline.txt"
+
+    assert main(["--write-baseline", "--baseline", str(baseline),
+                 str(dirty)]) == 0
+    assert "TODO" in baseline.read_text()  # unjustified entries are marked
+
+    assert main(["--baseline", str(baseline), str(dirty)]) == 0
+    assert "baseline-accepted" in capsys.readouterr().err
+
+    # A second violation goes beyond the accepted count: CI must fail.
+    dirty.write_text(UNGATED + (
+        "    def stamp(self, k):\n"
+        "        self._mem.write_u64(0, k)\n"
+    ))
+    assert main(["--baseline", str(baseline), str(dirty)]) == 1
+    capsys.readouterr()
+
+
+def test_baseline_stale_entries_are_reported(tmp_path, capsys):
+    dirty = dirty_file(tmp_path)
+    baseline = tmp_path / "baseline.txt"
+    key = path_key(str(dirty))
+    baseline.write_text("# shrunk since\n%s persist-order 5\n" % key)
+    assert main(["--baseline", str(baseline), str(dirty)]) == 0
+    assert "unused slot" in capsys.readouterr().err
+
+
+def test_no_baseline_flag_reports_everything(tmp_path, capsys):
+    dirty = dirty_file(tmp_path)
+    baseline = tmp_path / "baseline.txt"
+    assert main(["--write-baseline", "--baseline", str(baseline),
+                 str(dirty)]) == 0
+    assert main(["--no-baseline", "--baseline", str(baseline),
+                 str(dirty)]) == 1
+    capsys.readouterr()
+
+
+# -- the tree itself --------------------------------------------------------
+
+def test_real_tree_is_clean_against_committed_baseline(capsys):
+    assert main([SRC_REPRO, "--baseline", BASELINE]) == 0
+    capsys.readouterr()
+
+
+def test_committed_baseline_is_fully_justified():
+    with open(BASELINE, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    assert "TODO" not in text
+    # Every entry line has a justification comment directly above it.
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if line and not line.startswith("#"):
+            assert index > 0 and lines[index - 1].startswith("#"), line

@@ -1,0 +1,134 @@
+"""The forward dataflow solver: must- vs may-analysis semantics at
+joins and loops, TOP for unreachable code, and the divergence guard."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.staticcheck import (
+    TOP,
+    SetIntersectAnalysis,
+    SetUnionAnalysis,
+    build_cfg,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+class _AssignedNames:
+    """Shared transfer: accumulate names bound by Assign / for targets."""
+
+    def transfer(self, fact, kind, node):
+        if kind == "stmt" and isinstance(node, ast.Assign):
+            names = frozenset(target.id for target in node.targets
+                              if isinstance(target, ast.Name))
+            return fact | names
+        if kind == "for" and isinstance(node.target, ast.Name):
+            return fact | {node.target.id}
+        return fact
+
+
+class MustAssigned(_AssignedNames, SetIntersectAnalysis):
+    """Definitely-assigned-on-all-paths."""
+
+
+class MayAssigned(_AssignedNames, SetUnionAnalysis):
+    """Possibly-assigned-on-some-path."""
+
+
+DIAMOND = """
+    def f(p):
+        if p:
+            x = 1
+            y = 2
+        else:
+            x = 3
+        return x
+"""
+
+
+def test_must_analysis_intersects_at_joins():
+    cfg = cfg_of(DIAMOND)
+    at_exit = MustAssigned().solve(cfg)[cfg.exit]
+    assert "x" in at_exit      # assigned on both arms
+    assert "y" not in at_exit  # assigned on one arm only
+
+
+def test_may_analysis_unions_at_joins():
+    cfg = cfg_of(DIAMOND)
+    at_exit = MayAssigned().solve(cfg)[cfg.exit]
+    assert {"x", "y"} <= at_exit
+
+
+def test_loop_body_is_not_guaranteed_to_run():
+    cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                found = item
+            return 0
+    """)
+    assert "found" not in MustAssigned().solve(cfg)[cfg.exit]
+    assert "found" in MayAssigned().solve(cfg)[cfg.exit]
+
+
+def test_facts_survive_the_back_edge():
+    cfg = cfg_of("""
+        def f(items):
+            before = 1
+            for item in items:
+                inside = before
+            return 0
+    """)
+    # "before" holds at loop entry from both the entry path and the
+    # back edge, so the must-fact keeps it through the loop.
+    assert "before" in MustAssigned().solve(cfg)[cfg.exit]
+
+
+def test_unreachable_blocks_stay_top():
+    cfg = cfg_of("""
+        def f():
+            return 1
+            dead = 2
+    """)
+    in_facts = MustAssigned().solve(cfg)
+    dead = [block for block in cfg.blocks
+            if any(kind == "stmt" and isinstance(node, ast.Assign)
+                   for kind, node in block.events)][0]
+    assert in_facts[dead] is TOP
+
+
+def test_block_out_applies_events_in_order():
+    cfg = cfg_of("""
+        def f():
+            a = 1
+            b = a
+            return b
+    """)
+    analysis = MustAssigned()
+    out = analysis.block_out(frozenset(), cfg.entry)
+    assert {"a", "b"} <= out
+
+
+class _NeverConverges(SetUnionAnalysis):
+    """Grows its fact on every application — no fixpoint exists."""
+
+    MAX_ITERATIONS = 3
+
+    def transfer(self, fact, kind, node):
+        return fact | {len(fact)}
+
+
+def test_divergence_raises_a_typed_error():
+    cfg = cfg_of("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    with pytest.raises(LintError):
+        _NeverConverges().solve(cfg)
