@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples quicktest lint staticcheck \
-	fuzz fuzz-smoke perfbench perfbench-compare clean
+	fuzz fuzz-smoke perfbench perfbench-compare obs-smoke obs-overhead \
+	clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +55,21 @@ perfbench:
 
 perfbench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.perfbench --out /tmp/perfbench-current.json --compare BENCH_PR3.json
+
+# Observability (docs/observability.md): `obs-smoke` traces a fixed-seed
+# perfbench microworkload, summarizes it, and schema-checks the Chrome
+# trace export; `obs-overhead` asserts the tracing-off overhead budget
+# and that tracing never moves simulated time.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.perfbench --ops 2000 --records 400 \
+		--workloads store_heavy,mixed --backends pax,pmdk \
+		--out /tmp/obs-smoke.json --trace /tmp/obs-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.obs summarize /tmp/obs-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.obs convert /tmp/obs-trace.jsonl --to chrome -o /tmp/obs-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro.obs validate /tmp/obs-trace.json
+
+obs-overhead:
+	PYTHONPATH=src $(PYTHON) -m repro.obs overhead
 
 examples:
 	@for script in examples/*.py; do \

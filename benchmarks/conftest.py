@@ -6,10 +6,32 @@ workloads that run in seconds. Media latencies and bandwidths stay at
 their real values; DESIGN.md §5 and EXPERIMENTS.md discuss the scaling.
 """
 
+import os
+import re
+
 import pytest
 
 from repro.baselines import make_backend
 from repro.cache.cache import CacheConfig
+
+#: Set by ``--obs-trace DIR``: every backend built by :func:`bench_backend`
+#: then gets a fresh ``repro.obs`` tracer, and each test's events land in
+#: ``DIR/<testname>.jsonl`` (written by the autouse fixture below).
+_TRACE_DIR = None
+_ACTIVE_TRACERS = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace", metavar="DIR", default=None,
+        help="write one repro.obs JSONL trace per benchmark test into DIR")
+
+
+def pytest_configure(config):
+    global _TRACE_DIR
+    _TRACE_DIR = config.getoption("--obs-trace")
+    if _TRACE_DIR:
+        os.makedirs(_TRACE_DIR, exist_ok=True)
 
 #: Scaled cache geometry used by every throughput-style benchmark.
 BENCH_CACHES = dict(
@@ -32,7 +54,29 @@ def bench_backend(name, **overrides):
                       capacity=1 << 14)
     kwargs.update(BENCH_CACHES)
     kwargs.update(overrides)
-    return make_backend(name, **kwargs)
+    backend = make_backend(name, **kwargs)
+    if _TRACE_DIR:
+        from repro.obs import ObsTracer
+        _ACTIVE_TRACERS.append((name, ObsTracer().attach(backend)))
+    return backend
+
+
+@pytest.fixture(autouse=True)
+def _obs_trace_dump(request):
+    """Write the backends' trace events after each traced benchmark."""
+    yield
+    if not _TRACE_DIR or not _ACTIVE_TRACERS:
+        _ACTIVE_TRACERS.clear()
+        return
+    from repro.obs.export import write_jsonl
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = os.path.join(_TRACE_DIR, stem + ".jsonl")
+    with open(path, "w") as handle:
+        write_jsonl((), handle)                  # header line only
+        for backend_name, tracer in _ACTIVE_TRACERS:
+            write_jsonl(tracer.events(), handle, header=False,
+                        extra={"cell": backend_name})
+    _ACTIVE_TRACERS.clear()
 
 
 @pytest.fixture(scope="session")

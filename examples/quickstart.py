@@ -41,6 +41,17 @@ def main():
           % (pool.committed_epoch, latency_ns / 1e3))
 
     print("map contents:", {k: v for k, v in sorted(ht.items())[:5]})
+
+    # Bonus: re-run a few operations under the structured tracer to see
+    # what the machine did in simulated time (docs/observability.md).
+    # Attaching a tracer never changes simulated behaviour — only what
+    # you can observe of it.
+    from repro.obs import ObsTracer
+    tracer = ObsTracer().attach(pool.machine)
+    ht.put(3, 300)
+    pool.persist()
+    print("traced events by category:", tracer.counts_by_category())
+
     pool.close()        # flush the pool file to disk
 
 

@@ -308,6 +308,10 @@ class CacheHierarchy:
                     new_state = MesiState.SHARED
         latency += self._fill_core(core, line)
         self._dir.set_state(line_addr, core.core_id, new_state)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_span("store" if exclusive else "load", "miss",
+                           self._clock.now_ns, latency, {"line": line_addr})
         self._charge(latency)
         return line
 
@@ -441,6 +445,8 @@ class CacheHierarchy:
             elif llc_line.dirty:
                 fresh = llc_line.snapshot()
                 llc_line.dirty = False
+        if self.tracer is not None:
+            self.tracer.on_snoop("shared", line_addr, fresh is not None)
         return fresh
 
     def snoop_invalidate(self, line_addr):
@@ -459,6 +465,8 @@ class CacheHierarchy:
         llc_line = self._llc.remove(line_addr)
         if llc_line is not None and llc_line.dirty and fresh is None:
             fresh = llc_line.snapshot()
+        if self.tracer is not None:
+            self.tracer.on_snoop("invalidate", line_addr, fresh is not None)
         return fresh
 
     def writeback_line(self, line_addr):

@@ -71,6 +71,22 @@ class RecoveryReport:
         return self.log_entries_torn > 0 or not all(self.epoch_slots_valid)
 
 
+def _trace_outcome(pool, name, report):
+    """Emit a "recovery" span on the pool's tracer, if one is attached.
+
+    Read-only by contract: recovery must behave identically traced and
+    untraced, so only fields already computed in ``report`` are emitted.
+    """
+    tracer = getattr(pool, "tracer", None)
+    if tracer is not None:
+        tracer.on_span("recovery", name, None, 0, {
+            "committed_epoch": report.committed_epoch,
+            "records_rolled_back": report.records_rolled_back,
+            "log_entries_torn": report.log_entries_torn,
+            "log_tail": report.log_tail,
+        })
+
+
 def recover_pool(pool):
     """Roll the pool's data region back to its last committed snapshot.
 
@@ -88,6 +104,7 @@ def recover_pool(pool):
     except PoolError as exc:
         report = RecoveryReport(committed_epoch=-1, epoch_slot_used=-1,
                                 epoch_slots_valid=(False, False))
+        _trace_outcome(pool, "recover-failed", report)
         raise RecoveryError(str(exc), report=report)
     region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
     report = RecoveryReport(committed_epoch=committed,
@@ -100,11 +117,13 @@ def recover_pool(pool):
     report.log_tail = scan.tail
     report.log_tail_offset = scan.tail_offset
     if scan.tail == TAIL_CORRUPT:
+        _trace_outcome(pool, "recover-failed", report)
         raise RecoveryError(
             "undo log corrupt at region offset %d: a durable record's "
             "pre-image is unreadable, so no consistent rollback exists"
             % scan.tail_offset, report=report)
     if scan.tail == TAIL_DISORDER:
+        _trace_outcome(pool, "recover-failed", report)
         raise RecoveryError(
             "undo records out of epoch order at region offset %d; the "
             "log is append-only per epoch" % scan.tail_offset,
@@ -120,6 +139,7 @@ def recover_pool(pool):
         # With pipelined persists (core.pipeline) several uncommitted
         # epochs may be present; all of them roll back, newest first.
         if not pool.contains_data(entry.addr, CACHE_LINE_SIZE):
+            _trace_outcome(pool, "recover-failed", report)
             raise RecoveryError(
                 "undo record targets 0x%x outside the data region"
                 % entry.addr, report=report)
@@ -133,4 +153,5 @@ def recover_pool(pool):
         report.lines_restored.append(entry.addr)
     # Only now is it safe to discard the log.
     region.reset()
+    _trace_outcome(pool, "recover-pool", report)
     return report

@@ -107,13 +107,17 @@ class FuzzStats:
         return "\n".join(lines)
 
 
-def run_iteration(seed, allow_link=True, sanitize=False):
+def run_iteration(seed, allow_link=True, sanitize=False, tracer=None):
     """One fuzz iteration.
 
     Returns ``(outcome, crashed_in_flight)`` where outcome is ``exact``,
     ``detected``, or ``link_exhausted``; raises :class:`FuzzFailure` on a
     contract violation. With ``sanitize``, PaxSan shadows the iteration
-    and any persist-order violation it reports is a failure too.
+    and any persist-order violation it reports is a failure too. With
+    ``tracer`` (a ``repro.obs`` :class:`~repro.obs.tracer.ObsTracer`),
+    the iteration's events accumulate into its ring; combined with
+    ``sanitize`` the machine's single tracer slot is shared through a
+    :class:`~repro.obs.tracer.TeeTracer`.
     """
     rng = DeterministicRng(seed)
     plan = FaultPlan.random(rng.fork("plan"), allow_link=allow_link)
@@ -125,6 +129,13 @@ def run_iteration(seed, allow_link=True, sanitize=False):
                             **_small_caches())
     if sanitize:
         PaxSanitizer().attach(pool.machine)
+    if tracer is not None:
+        sanitizer = pool.machine.tracer        # set above when sanitizing
+        tracer.attach(pool.machine)
+        if sanitizer is not None:
+            from repro.obs.tracer import TeeTracer
+            pool.machine.attach_tracer(TeeTracer([sanitizer, tracer]))
+        tracer.instant("recovery", "fuzz-iteration", {"seed": seed})
     structure = pool.persistent(structure_cls)
     tracker = SnapshotTracker()
 
@@ -197,8 +208,14 @@ def run_iteration(seed, allow_link=True, sanitize=False):
 
 
 def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None,
-             sanitize=False):
-    """Run ``iterations`` seeded iterations; returns a :class:`FuzzStats`."""
+             sanitize=False, tracer=None):
+    """Run ``iterations`` seeded iterations; returns a :class:`FuzzStats`.
+
+    One ``tracer`` spans the whole sweep — each iteration re-attaches it
+    to that iteration's fresh machine, so the ring ends up holding the
+    (newest) events across iterations, delimited by ``fuzz-iteration``
+    instants.
+    """
     stats = FuzzStats()
     master = DeterministicRng(seed)
     for iteration in range(iterations):
@@ -209,7 +226,8 @@ def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None,
         try:
             outcome, in_flight = run_iteration(iter_seed,
                                                allow_link=allow_link,
-                                               sanitize=sanitize)
+                                               sanitize=sanitize,
+                                               tracer=tracer)
             stats.outcomes[outcome] += 1
             stats.crashed_in_flight += in_flight
         except FuzzFailure as exc:
@@ -239,11 +257,23 @@ def main(argv=None):
     parser.add_argument("--sanitize", action="store_true",
                         help="attach PaxSan to every iteration; a "
                              "persist-order violation fails the run")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="trace every iteration into one repro.obs "
+                             "ring and write it as a JSONL trace")
     args = parser.parse_args(argv)
+    tracer = None
+    if args.trace:
+        from repro.obs import ObsTracer
+        tracer = ObsTracer()
     stats = run_fuzz(iterations=args.iterations, seed=args.seed,
                      allow_link=not args.no_link_faults,
                      progress=args.progress or None,
-                     sanitize=args.sanitize)
+                     sanitize=args.sanitize, tracer=tracer)
+    if tracer is not None:
+        from repro.obs.export import write_jsonl
+        write_jsonl(tracer.events(), args.trace)
+        print("wrote %s (%d events, %d dropped)"
+              % (args.trace, len(tracer.ring), tracer.ring.dropped))
     print(stats.summary())
     return 0 if stats.ok else 1
 

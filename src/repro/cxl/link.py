@@ -20,8 +20,12 @@ class CxlLink:
             raise ConfigError("link latency cannot be negative")
         self.name = name
         self.one_way_ns = one_way_ns
+        self._clock = clock
         self._h2d = BandwidthLimiter(name + ".h2d", clock, bytes_per_second)
         self._d2h = BandwidthLimiter(name + ".d2h", clock, bytes_per_second)
+        #: Optional :class:`~repro.sanitizer.base.Tracer`: each hop emits
+        #: a "link" span (queueing delay included) when one is attached.
+        self.tracer = None
         self.stats = StatGroup(name)
         # Per-message counters bound once (hot-path-stat-lookup rule).
         self._c_h2d_messages = self.stats.counter("h2d_messages")
@@ -47,14 +51,26 @@ class CxlLink:
         wire_bytes = message.wire_bytes
         self._c_h2d_messages.value += 1
         self._c_h2d_bytes.value += wire_bytes
-        return self.one_way_ns + self._h2d.submit(wire_bytes)
+        latency = self.one_way_ns + self._h2d.submit(wire_bytes)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_span("link", "h2d", self._clock.now_ns, latency,
+                           {"type": type(message).__name__,
+                            "bytes": wire_bytes})
+        return latency
 
     def send_d2h(self, message):
         """Device-to-host hop; returns latency_ns."""
         wire_bytes = message.wire_bytes
         self._c_d2h_messages.value += 1
         self._c_d2h_bytes.value += wire_bytes
-        return self.one_way_ns + self._d2h.submit(wire_bytes)
+        latency = self.one_way_ns + self._d2h.submit(wire_bytes)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_span("link", "d2h", self._clock.now_ns, latency,
+                           {"type": type(message).__name__,
+                            "bytes": wire_bytes})
+        return latency
 
     def round_trip(self, request, response):
         """Latency of a request/response pair."""

@@ -46,6 +46,15 @@ class LossyLink:
         """The wrapped link's base one-way hop latency."""
         return self.inner.one_way_ns
 
+    @property
+    def tracer(self):
+        """The wrapped link's tracer (spans fire per attempt)."""
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value):
+        self.inner.tracer = value
+
     def send_h2d(self, message):
         """Host-to-device hop with loss/retransmit; returns latency_ns."""
         return self._send(self.inner.send_h2d, message, "h2d")

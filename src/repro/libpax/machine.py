@@ -225,6 +225,7 @@ class PaxMachine(_BaseMachine):
         self.pm.tracer = self.tracer
         self.pool.tracer = self.tracer
         self.device.undo.tracer = self.tracer
+        self.link.tracer = self.tracer
 
     @property
     def heap_size(self):
@@ -238,10 +239,18 @@ class PaxMachine(_BaseMachine):
         returns that latency in nanoseconds.
         """
         self.check_alive()
+        tracer = self.tracer
+        start_ns = self.clock.now_ns if tracer is not None else 0
         if self.protocol == "cxl.mem":
             latency = self._persist_mem()
         else:
             latency = self.device.persist(self.snoop_port, clock=self.clock)
+        if tracer is not None:
+            # current_epoch (a plain attribute) rather than the pool's
+            # committed_epoch property: the latter issues device reads,
+            # which would perturb counters relative to an untraced run.
+            tracer.on_span("epoch-commit", "persist", start_ns, latency,
+                           {"epoch": self.device.epochs.current_epoch - 1})
         self.stats.counter("persists").add(1)
         return latency
 

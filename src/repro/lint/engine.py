@@ -183,11 +183,22 @@ class SuppressionIndex:
         return False
 
 
+#: Version of the ``--json`` payload (shared by repro.lint and
+#: repro.staticcheck); bumped on incompatible shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
 def findings_to_json(findings):
-    """Serialize findings as a JSON array for machine consumption."""
+    """Serialize findings as a schema-tagged JSON object.
+
+    The payload is ``{"schema": 1, "findings": [...]}`` so consumers can
+    detect shape changes instead of silently misparsing them.
+    """
     return json.dumps(
-        [{"path": f.path, "line": f.lineno, "col": f.col,
-          "rule": f.rule_id, "message": f.message} for f in findings],
+        {"schema": JSON_SCHEMA_VERSION,
+         "findings": [{"path": f.path, "line": f.lineno, "col": f.col,
+                       "rule": f.rule_id, "message": f.message}
+                      for f in findings]},
         indent=2)
 
 
@@ -269,7 +280,8 @@ def main(argv=None):
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--json", action="store_true",
-                        help="emit findings as a JSON array on stdout")
+                        help="emit findings as a schema-tagged JSON object "
+                             "on stdout")
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule_id, rule_obj in sorted(all_rules().items()):

@@ -1,0 +1,68 @@
+"""Observability layer: structured tracing, metrics export, trace tooling.
+
+The rest of this repository can tell you *how much* time a run consumed
+(end-of-run counters, perfbench cells); this package tells you *where it
+went* while the run unfolds — the paper's whole argument is about the
+shape of a persist epoch (coherence interposition, undo-log drain,
+group-commit snoop storms), and a shape needs a timeline, not a total.
+See docs/observability.md for the event taxonomy and exporter formats.
+
+Three pieces:
+
+* :class:`~repro.obs.tracer.ObsTracer` — a ring-buffered structured
+  event tracer fed from the sanitizer :class:`~repro.sanitizer.base.Tracer`
+  hook points plus dedicated span hooks in the cache miss path, the CXL
+  link, ``persist()``/epoch commit, and recovery. Timestamps are
+  **simulated** nanoseconds; attaching a tracer never changes simulated
+  behaviour (the golden tests pin this).
+* :class:`~repro.obs.metrics.MetricsRegistry` — unifies the bound
+  :class:`~repro.util.stats.StatGroup` counters/histograms behind named,
+  labeled series with periodic (sim-time) snapshotting and a flat
+  Prometheus-style text dump.
+* exporters and a CLI — JSONL event logs, Chrome ``trace_event`` JSON
+  (loadable in Perfetto), ``python -m repro.obs summarize / convert /
+  validate / overhead``.
+
+Hot-path discipline (docs/performance.md): with no tracer attached every
+hook is a single ``is not None`` attribute check — the ``overhead`` CLI
+subcommand measures exactly that and CI fails if it costs more than 5%.
+"""
+
+from repro.obs.tracer import (
+    CATEGORIES,
+    DEFAULT_CAPACITY,
+    EVENT_INSTANT,
+    EVENT_SPAN,
+    ObsTracer,
+    RingBuffer,
+    TeeTracer,
+)
+from repro.obs.metrics import MetricsRegistry, prometheus_name
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    event_to_dict,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_CAPACITY",
+    "EVENT_INSTANT",
+    "EVENT_SPAN",
+    "MetricsRegistry",
+    "ObsTracer",
+    "RingBuffer",
+    "TRACE_SCHEMA",
+    "TeeTracer",
+    "chrome_trace",
+    "event_to_dict",
+    "prometheus_name",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` entry point."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+
+Two on-disk formats, one source of truth:
+
+* **JSONL** — one JSON object per line, first line a schema header
+  (:data:`TRACE_SCHEMA`). Greppable, streamable, diff-friendly; what
+  ``--trace`` flags write and what the CLI subcommands read.
+* **Chrome trace JSON** — the ``trace_event`` "JSON Object Format"
+  (``{"traceEvents": [...]}``) that chrome://tracing and Perfetto load
+  directly. Simulated nanoseconds map onto the format's microsecond
+  ``ts``/``dur`` fields; each event category gets its own named track
+  so a persist epoch reads as parallel lanes of load/store/snoop/drain
+  activity.
+
+:func:`validate_chrome_trace` is the schema check CI runs on exported
+traces — deliberately strict about the few fields Perfetto actually
+keys on (``ph``, ``ts``, ``dur``, ``pid``/``tid``).
+"""
+
+import json
+
+from repro.errors import ConfigError
+from repro.obs.tracer import CATEGORIES, EVENT_INSTANT, EVENT_SPAN
+
+#: JSONL header schema identifier, bumped on incompatible changes.
+TRACE_SCHEMA = "repro.obs/1"
+
+#: Chrome trace_event phases this exporter emits (plus "M" metadata).
+_CHROME_PHASES = frozenset({EVENT_SPAN, EVENT_INSTANT, "M"})
+
+
+def event_to_dict(event, extra=None):
+    """Convert one tracer tuple into its JSONL record."""
+    ph, category, name, ts_ns, dur_ns, args = event
+    record = {"ph": ph, "cat": category, "name": name, "ts_ns": ts_ns}
+    if dur_ns:
+        record["dur_ns"] = dur_ns
+    if args:
+        record["args"] = args
+    if extra:
+        record.update(extra)
+    return record
+
+
+def write_jsonl(events, handle_or_path, extra=None, header=True):
+    """Write events (tracer tuples or dicts) as JSONL.
+
+    ``extra`` is merged into every record — callers use it to tag events
+    with the perfbench cell or fuzz iteration they came from. Pass an
+    open file handle to append several event batches under one header.
+    """
+    own = isinstance(handle_or_path, str)
+    handle = open(handle_or_path, "w") if own else handle_or_path
+    try:
+        if header:
+            handle.write(json.dumps({"schema": TRACE_SCHEMA}) + "\n")
+        for event in events:
+            if isinstance(event, dict):
+                record = dict(event)
+                if extra:
+                    record.update(extra)
+            else:
+                record = event_to_dict(event, extra=extra)
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def read_jsonl(path):
+    """Read a JSONL trace; returns a list of event dicts.
+
+    Raises :class:`~repro.errors.ConfigError` on a missing or mismatched
+    schema header or an unparseable line — the CLI maps that onto exit
+    code 1.
+    """
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ConfigError("%s is empty, not a %s trace" % (path, TRACE_SCHEMA))
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise ConfigError("%s line 1 is not JSON" % path) from None
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        raise ConfigError("%s is not a %s trace (header %r)"
+                          % (path, TRACE_SCHEMA, lines[0][:80]))
+    events = []
+    for index, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise ConfigError("%s line %d is not JSON" % (path, index)) \
+                from None
+        if not isinstance(record, dict) or "ph" not in record \
+                or "ts_ns" not in record:
+            raise ConfigError("%s line %d is not a trace event" % (path, index))
+        events.append(record)
+    return events
+
+
+def chrome_trace(event_dicts):
+    """Build a Chrome ``trace_event`` JSON object from event dicts.
+
+    Categories become named tracks (``tid`` per category, announced via
+    ``thread_name`` metadata events) under one process, so Perfetto
+    renders the epoch as parallel lanes. ``ts``/``dur`` are microsecond
+    floats per the format; the original integer ``ts_ns`` survives in
+    ``args`` for lossless round-trips.
+    """
+    tids = {category: index for index, category in enumerate(CATEGORIES)}
+    trace_events = []
+    for category, tid in tids.items():
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+            "args": {"name": category},
+        })
+    for record in event_dicts:
+        category = record.get("cat", "misc")
+        tid = tids.setdefault(category, len(tids))
+        event = {
+            "ph": record["ph"],
+            "name": record.get("name", category),
+            "cat": category,
+            "pid": 0,
+            "tid": tid,
+            "ts": record["ts_ns"] / 1e3,
+        }
+        args = dict(record.get("args") or {})
+        args["ts_ns"] = record["ts_ns"]
+        if record["ph"] == EVENT_SPAN:
+            event["dur"] = record.get("dur_ns", 0) / 1e3
+        else:
+            event["s"] = "t"      # instant scoped to its track
+        event["args"] = args
+        trace_events.append(event)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+
+
+def write_chrome_trace(event_dicts, path):
+    """Write :func:`chrome_trace` output as a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(event_dicts), handle, indent=1)
+        handle.write("\n")
+
+
+def validate_chrome_trace(obj):
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    An empty list means the trace is loadable. Checks the JSON Object
+    Format contract: a ``traceEvents`` list whose members carry ``ph``,
+    ``name``, numeric ``ts``, ``pid``/``tid``, and — for complete
+    ("X") events — a non-negative numeric ``dur``.
+    """
+    problems = []
+    if not isinstance(obj, dict):
+        return ["top level must be a JSON object, got %s"
+                % type(obj).__name__]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = event.get("ph")
+        if ph not in _CHROME_PHASES:
+            problems.append("%s: unsupported phase %r" % (where, ph))
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append("%s: missing string name" % where)
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append("%s: missing integer %s" % (where, field))
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append("%s: missing numeric ts" % where)
+        if ph == EVENT_SPAN:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s: X event needs non-negative dur" % where)
+    return problems

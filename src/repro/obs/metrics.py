@@ -1,0 +1,176 @@
+"""The metrics registry: named, labeled series over StatGroups.
+
+Every simulated component already owns a
+:class:`~repro.util.stats.StatGroup` of bound counters and histograms
+(the PR3 fast-path discipline); what was missing is one place that knows
+about all of them. A :class:`MetricsRegistry` holds ``(StatGroup,
+labels)`` registrations and renders them three ways:
+
+* :meth:`collect` — a flat, deterministic list of samples
+  ``(name, labels, value)`` for programmatic use;
+* :meth:`snapshot` — the same, stamped with the current simulated time
+  and kept in :attr:`snapshots`, so a harness can sample a run
+  periodically and plot series over sim-time;
+* :meth:`to_prometheus` — the flat text exposition format
+  (``name{label="v"} value``), one line per sample, for anything that
+  already speaks Prometheus.
+
+Histograms contribute ``_count``/``_sum``/``_min``/``_max`` samples plus
+``{quantile="0.5"|"0.99"}`` estimates from the reservoir. Collection is
+pull-based and read-only: registering a machine never changes what the
+simulation does, only what you can see of it.
+"""
+
+from repro.errors import ConfigError
+
+#: Quantiles exported per histogram, as (label value, percentile).
+QUANTILES = (("0.5", 50.0), ("0.99", 99.0))
+
+
+def prometheus_name(*parts):
+    """Join name parts into a legal Prometheus metric name."""
+    joined = "_".join(part for part in parts if part)
+    out = []
+    for char in joined:
+        out.append(char if char.isalnum() or char == "_" else "_")
+    name = "".join(out)
+    if not name or name[0].isdigit():
+        name = "repro_" + name
+    return name
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return None                      # skip NaN/inf samples
+        if value == int(value):
+            return "%d" % int(value)
+        return repr(value)
+    return "%d" % value
+
+
+class MetricsRegistry:
+    """Registrations of StatGroups behind named, labeled series."""
+
+    def __init__(self, clock=None, namespace="repro"):
+        self._clock = clock
+        self.namespace = namespace
+        self._groups = []                     # (StatGroup, labels dict)
+        #: Timestamped snapshots taken so far (see :meth:`snapshot`).
+        self.snapshots = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, group, **labels):
+        """Register one StatGroup; ``labels`` tag every series from it."""
+        if not hasattr(group, "counters"):
+            raise ConfigError("register() wants a StatGroup, got %r"
+                              % (group,))
+        self._groups.append((group, dict(labels)))
+        return self
+
+    def register_machine(self, machine, **labels):
+        """Register every StatGroup a machine (or backend) exposes.
+
+        Walks the well-known component attributes of both machine
+        shapes — hierarchy, PM/DRAM medium, PAX device internals, the
+        link — plus the machine's own group. Unknown shapes contribute
+        whatever subset they have.
+        """
+        pool = getattr(machine, "pool", None)
+        inner = getattr(machine, "machine", None)
+        if inner is None and pool is not None:
+            inner = getattr(pool, "machine", None)
+        if inner is not None:
+            machine = inner
+        seen = set()
+
+        def add(group, component):
+            if group is not None and id(group) not in seen:
+                seen.add(id(group))
+                self.register(group, component=component, **labels)
+
+        add(getattr(machine, "stats", None), "machine")
+        hierarchy = getattr(machine, "hierarchy", None)
+        if hierarchy is not None:
+            add(hierarchy.stats, "hierarchy")
+        for attr in ("pm", "memory"):
+            medium = getattr(machine, attr, None)
+            if medium is not None:
+                add(medium.stats, attr)
+        device = getattr(machine, "device", None)
+        if device is not None:
+            add(device.stats, "device")
+            add(device.undo.stats, "undo")
+            add(device.writeback.stats, "writeback")
+            add(device.epochs.stats, "epochs")
+            add(device.region.stats, "log_region")
+        link = getattr(machine, "link", None)
+        if link is not None:
+            add(getattr(link, "stats", None), "link")
+            wrapped = getattr(link, "inner", None)
+            if wrapped is not None:
+                add(wrapped.stats, "link")
+        return self
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self):
+        """Return the current samples as ``(name, labels, value)`` tuples.
+
+        Deterministic order: registration order, then counter name, then
+        histogram name — so two identical runs dump identical text.
+        """
+        samples = []
+        for group, labels in self._groups:
+            base = dict(labels)
+            base.setdefault("group", group.owner)
+            for name, value in sorted(group.counters().items()):
+                samples.append((
+                    prometheus_name(self.namespace, group.owner, name),
+                    dict(base), value))
+            for name, histogram in sorted(group.histograms().items()):
+                stem = prometheus_name(self.namespace, group.owner, name)
+                samples.append((stem + "_count", dict(base),
+                                histogram.count))
+                samples.append((stem + "_sum", dict(base), histogram.total))
+                if histogram.count:
+                    samples.append((stem + "_min", dict(base),
+                                    histogram.min))
+                    samples.append((stem + "_max", dict(base),
+                                    histogram.max))
+                for label, percentile in QUANTILES:
+                    quantile_labels = dict(base)
+                    quantile_labels["quantile"] = label
+                    samples.append((stem, quantile_labels,
+                                    histogram.percentile(percentile)))
+        return samples
+
+    def snapshot(self):
+        """Collect now, stamped with simulated time; returns the record."""
+        record = {
+            "sim_ns": self._clock.now_ns if self._clock is not None else 0,
+            "samples": self.collect(),
+        }
+        self.snapshots.append(record)
+        return record
+
+    def to_prometheus(self, samples=None):
+        """Render samples in the flat Prometheus text exposition format."""
+        lines = []
+        for name, labels, value in (samples if samples is not None
+                                    else self.collect()):
+            rendered = _format_value(value)
+            if rendered is None:
+                continue
+            if labels:
+                body = ",".join('%s="%s"' % (key, labels[key])
+                                for key in sorted(labels))
+                lines.append("%s{%s} %s" % (name, body, rendered))
+            else:
+                lines.append("%s %s" % (name, rendered))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self):
+        return "MetricsRegistry(%d groups, %d snapshots)" % (
+            len(self._groups), len(self.snapshots))

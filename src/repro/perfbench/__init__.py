@@ -107,22 +107,32 @@ def _drive(backend, workload, ops, records, seed):
     return wall_s, backend.now_ns - sim_start
 
 
-def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
-             seed=DEFAULT_SEED, repeats=1):
-    """Measure one workload x backend cell; returns a result dict.
+def attach_tracer(backend, tracer):
+    """Wire ``tracer`` into ``backend`` through its richest attach hook.
 
-    With ``repeats`` > 1 the cell is rebuilt and rerun that many times and
-    the best (largest throughput) wall-clock figure is reported — the
-    standard defence against a scheduler hiccup polluting a measurement.
-    ``sim_ns`` is identical across repeats by construction; this is
-    asserted, making every multi-repeat run a free determinism check.
+    ``repro.obs`` tracers know how to attach themselves (adopting the
+    backend's simulated clock); plain :class:`~repro.sanitizer.base.Tracer`
+    objects go through the backend's or machine's ``attach_tracer``.
     """
+    self_attach = getattr(tracer, "attach", None)
+    if self_attach is not None:
+        self_attach(backend)
+        return
+    hook = getattr(backend, "attach_tracer", None)
+    (hook or backend.machine.attach_tracer)(tracer)
+
+
+def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer):
+    """Measure one cell; returns ``(result dict, last backend)``."""
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
     best_wall = None
     sim_ns = None
+    backend = None
     for _attempt in range(repeats):
         backend = build_backend(backend_name)
+        if tracer is not None:
+            attach_tracer(backend, tracer)
         wall_s, cell_sim_ns = _drive(backend, workload, ops, records, seed)
         if sim_ns is None:
             sim_ns = cell_sim_ns
@@ -132,7 +142,7 @@ def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
                 % (workload, backend_name, sim_ns, cell_sim_ns))
         if best_wall is None or wall_s < best_wall:
             best_wall = wall_s
-    return {
+    cell = {
         "workload": workload,
         "backend": backend_name,
         "ops": ops,
@@ -140,20 +150,50 @@ def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
         "ops_per_sec": round(ops / best_wall, 1) if best_wall > 0 else 0.0,
         "sim_ns": sim_ns,
     }
+    return cell, backend
+
+
+def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
+             seed=DEFAULT_SEED, repeats=1, tracer=None):
+    """Measure one workload x backend cell; returns a result dict.
+
+    With ``repeats`` > 1 the cell is rebuilt and rerun that many times and
+    the best (largest throughput) wall-clock figure is reported — the
+    standard defence against a scheduler hiccup polluting a measurement.
+    ``sim_ns`` is identical across repeats by construction; this is
+    asserted, making every multi-repeat run a free determinism check.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.ObsTracer` or any sanitizer
+    tracer) is attached to every rebuilt backend; since tracers only
+    observe, the ``sim_ns`` assertion keeps holding — which is how the
+    harness proves tracing never perturbs the simulation.
+    """
+    cell, _backend = _run_cell(workload, backend_name, ops, records, seed,
+                               repeats, tracer)
+    return cell
 
 
 def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
                records=DEFAULT_RECORDS, seed=DEFAULT_SEED, repeats=1,
-               progress=None):
-    """Run the full matrix; returns the report dict (see :data:`SCHEMA`)."""
+               progress=None, tracer_factory=None, cell_hook=None):
+    """Run the full matrix; returns the report dict (see :data:`SCHEMA`).
+
+    ``tracer_factory()`` (optional) builds a fresh tracer per cell;
+    ``cell_hook(cell, backend, tracer)`` then receives each finished
+    cell with its (last-repeat) backend and tracer, so the CLI can dump
+    trace events and metrics without the report format changing.
+    """
     results = []
     for workload in workloads:
         for backend_name in backends:
-            cell = run_cell(workload, backend_name, ops=ops, records=records,
-                            seed=seed, repeats=repeats)
+            tracer = tracer_factory() if tracer_factory is not None else None
+            cell, backend = _run_cell(workload, backend_name, ops, records,
+                                      seed, repeats, tracer)
             results.append(cell)
             if progress is not None:
                 progress(cell)
+            if cell_hook is not None:
+                cell_hook(cell, backend, tracer)
     return {
         "schema": SCHEMA,
         "config": {

@@ -5,6 +5,7 @@ Examples::
     python -m repro.perfbench                          # full matrix -> BENCH_PR3.json
     python -m repro.perfbench --ops 4000 --out smoke.json
     python -m repro.perfbench --compare BENCH_PR3.json # measure, then grade
+    python -m repro.perfbench --trace trace.jsonl      # + structured trace
 
 Exit status: 0 on success, 1 on a comparison failure — wired for CI.
 """
@@ -43,6 +44,12 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional wall-clock drop vs the "
                              "baseline (default %(default)s)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="attach a repro.obs tracer to every cell and "
+                             "write the events as a JSONL trace")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="dump every cell's stat counters/histograms "
+                             "in Prometheus text format")
     args = parser.parse_args(argv)
 
     def progress(cell):
@@ -50,12 +57,48 @@ def main(argv=None):
               % (cell["workload"], cell["backend"], cell["ops_per_sec"],
                  cell["wall_s"], cell["sim_ns"]))
 
-    report = run_matrix(workloads=args.workloads.split(","),
-                        backends=args.backends.split(","),
-                        ops=args.ops, records=args.records, seed=args.seed,
-                        repeats=args.repeats, progress=progress)
+    tracer_factory = None
+    cell_hook = None
+    trace_handle = None
+    registry = None
+    if args.trace or args.metrics:
+        # Imported lazily: an untraced perfbench run never touches obs.
+        from repro.obs import MetricsRegistry, ObsTracer
+        from repro.obs.export import write_jsonl
+        if args.trace:
+            trace_handle = open(args.trace, "w")
+            write_jsonl((), trace_handle)        # header line only
+            tracer_factory = ObsTracer
+        if args.metrics:
+            registry = MetricsRegistry()
+
+        def cell_hook(cell, backend, tracer):
+            label = "%s/%s" % (cell["workload"], cell["backend"])
+            if trace_handle is not None:
+                write_jsonl(tracer.events(), trace_handle,
+                            extra={"cell": label}, header=False)
+            if registry is not None:
+                registry.register_machine(backend, cell=label)
+
+    try:
+        report = run_matrix(workloads=args.workloads.split(","),
+                            backends=args.backends.split(","),
+                            ops=args.ops, records=args.records,
+                            seed=args.seed, repeats=args.repeats,
+                            progress=progress,
+                            tracer_factory=tracer_factory,
+                            cell_hook=cell_hook)
+    finally:
+        if trace_handle is not None:
+            trace_handle.close()
     write_report(report, args.out)
     print("wrote %s" % args.out)
+    if args.trace:
+        print("wrote %s" % args.trace)
+    if registry is not None:
+        with open(args.metrics, "w") as handle:
+            handle.write(registry.to_prometheus())
+        print("wrote %s" % args.metrics)
 
     if args.compare:
         problems = compare(report, load_report(args.compare),

@@ -205,6 +205,8 @@ class Pool:
                 "epoch commit must advance: %d -> %d" % (current, epoch))
         if self.tracer is not None:
             self.tracer.on_epoch_commit(epoch)
+            self.tracer.on_span("epoch-commit", "slot-write", None, 0,
+                                {"epoch": epoch, "slot": epoch % 2})
         self.device.write(EPOCH_SLOT_OFFSETS[epoch % 2],
                           encode_epoch_record(epoch))
 

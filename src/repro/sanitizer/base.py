@@ -42,6 +42,13 @@ class Tracer:
     * :class:`~repro.baselines.wal.DurableCells` — :meth:`on_tx_commit`
     * the tx accessors — :meth:`on_tx_begin`, :meth:`on_tx_end`
     * the machines — :meth:`on_machine_crash`, :meth:`on_machine_restart`
+    * timed operations (miss handling, link hops, persist, recovery) —
+      :meth:`on_span`; the hierarchy's snoop ports — :meth:`on_snoop`
+
+    The span/snoop hooks exist for ``repro.obs`` structured tracing;
+    sanitizers ignore them, and like every hook they must only *read*
+    simulation state — a tracer that perturbs ``sim_ns`` or a stat
+    counter breaks the traced-equals-untraced guarantee.
     """
 
     def on_store(self, phys_line):
@@ -88,6 +95,20 @@ class Tracer:
 
     def on_machine_restart(self):
         """The machine rebooted and recovery finished; state is clean."""
+
+    def on_span(self, category, name, start_ns, dur_ns, args=None):
+        """A timed operation covered ``[start_ns, start_ns + dur_ns)``.
+
+        ``category`` is one of ``repro.obs.CATEGORIES``; ``start_ns`` of
+        None means "stamp with the current simulated time".
+        """
+
+    def on_snoop(self, kind, phys_line, dirty):
+        """The device snooped ``phys_line``; ``kind`` is shared|invalidate.
+
+        ``dirty`` is True when the snoop found (and for invalidations,
+        extracted) modified data in the hierarchy.
+        """
 
 
 class SanitizerBase(Tracer):

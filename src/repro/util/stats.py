@@ -182,6 +182,15 @@ class StatGroup:
         """Return a dict of counter name -> value."""
         return {name: c.value for name, c in self._counters.items()}
 
+    def histograms(self):
+        """Return a dict of histogram name -> :class:`Histogram` object.
+
+        The objects themselves (not copies): exporters like
+        ``repro.obs.metrics`` read count/total/percentiles off them
+        without another layer of indirection.
+        """
+        return dict(self._histograms)
+
     def reset(self):
         """Reset every counter and histogram in the group."""
         for counter in self._counters.values():

@@ -270,8 +270,9 @@ def test_cli_json_output(tmp_path, capsys):
     dirty.write_text("def f():\n    raise ValueError('x')\n")
     assert main(["--json", str(dirty)]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload) == 1
-    entry = payload[0]
+    assert payload["schema"] == 1
+    assert len(payload["findings"]) == 1
+    entry = payload["findings"][0]
     assert sorted(entry) == ["col", "line", "message", "path", "rule"]
     assert entry["rule"] == "typed-errors"
     assert entry["line"] == 2
@@ -279,7 +280,8 @@ def test_cli_json_output(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("def f(x=None):\n    return x\n")
     assert main(["--json", str(clean)]) == 0
-    assert json.loads(capsys.readouterr().out) == []
+    assert json.loads(capsys.readouterr().out) == {"schema": 1,
+                                                   "findings": []}
 
 
 def test_cli_list_rules(capsys):

@@ -1,0 +1,321 @@
+"""Unit tests for the observability layer: ring buffer, tracer, metrics
+registry, exporters, and the ``python -m repro.obs`` CLI exit contract."""
+
+import json
+
+import pytest
+
+from repro.baselines import make_backend
+from repro.errors import ConfigError
+from repro.obs import (
+    CATEGORIES,
+    EVENT_INSTANT,
+    EVENT_SPAN,
+    MetricsRegistry,
+    ObsTracer,
+    RingBuffer,
+    TeeTracer,
+    chrome_trace,
+    event_to_dict,
+    prometheus_name,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.cli import main, summarize_events
+from repro.sanitizer.base import Tracer
+from repro.util.stats import StatGroup
+
+
+class FakeClock:
+    def __init__(self, now_ns=0):
+        self.now_ns = now_ns
+
+
+def _event(i):
+    return (EVENT_INSTANT, "store", "store", i, 0, {"line": i})
+
+
+# -- ring buffer ------------------------------------------------------------
+
+def test_ring_keeps_everything_below_capacity():
+    ring = RingBuffer(8)
+    for i in range(5):
+        ring.append(_event(i))
+    assert len(ring) == 5
+    assert ring.dropped == 0
+    assert [e[3] for e in ring.events()] == [0, 1, 2, 3, 4]
+
+
+def test_ring_wraparound_keeps_newest_oldest_first():
+    ring = RingBuffer(4)
+    for i in range(11):
+        ring.append(_event(i))
+    assert len(ring) == 4
+    assert ring.total == 11
+    assert ring.dropped == 7
+    assert [e[3] for e in ring.events()] == [7, 8, 9, 10]
+
+
+def test_ring_wrap_exactly_at_capacity_boundary():
+    ring = RingBuffer(4)
+    for i in range(8):
+        ring.append(_event(i))
+    # total is a multiple of capacity: the cut is at slot 0.
+    assert [e[3] for e in ring.events()] == [4, 5, 6, 7]
+
+
+def test_ring_clear_and_bad_capacity():
+    ring = RingBuffer(4)
+    ring.append(_event(1))
+    ring.clear()
+    assert len(ring) == 0 and ring.events() == []
+    with pytest.raises(ConfigError):
+        RingBuffer(0)
+
+
+# -- tracer -----------------------------------------------------------------
+
+def test_tracer_stamps_simulated_time():
+    clock = FakeClock(500)
+    tracer = ObsTracer(clock=clock, capacity=16)
+    tracer.instant("snoop", "snoop-shared", {"line": 64})
+    clock.now_ns = 900
+    tracer.on_span("link", "h2d", None, 25, {"bytes": 64})
+    tracer.on_span("load", "miss", 100, 50)
+    events = tracer.events()
+    assert events[0] == (EVENT_INSTANT, "snoop", "snoop-shared", 500, 0,
+                         {"line": 64})
+    assert events[1] == (EVENT_SPAN, "link", "h2d", 900, 25, {"bytes": 64})
+    assert events[2] == (EVENT_SPAN, "load", "miss", 100, 50, None)
+
+
+def test_tracer_disabled_records_nothing():
+    tracer = ObsTracer(clock=FakeClock(), capacity=16)
+    tracer.enabled = False
+    tracer.instant("store", "store")
+    tracer.on_span("load", "miss", 0, 10)
+    tracer.on_store(128)
+    tracer.on_epoch_commit(3)
+    assert tracer.events() == []
+
+
+def test_tracer_protocol_hooks_map_onto_categories():
+    tracer = ObsTracer(clock=FakeClock(), capacity=64)
+    tracer.on_store(64)
+    tracer.on_log_record(4096, 7, 2)
+    tracer.on_log_durable(7)
+    tracer.on_epoch_commit(2)
+    tracer.on_snoop("invalidate", 64, True)
+    tracer.on_clwb(64, 2)
+    tracer.on_fence()
+    tracer.on_machine_crash()
+    tracer.on_machine_restart()
+    counts = tracer.counts_by_category()
+    assert counts == {"store": 1, "undo-append": 1, "drain": 1,
+                      "epoch-commit": 1, "snoop": 1, "writeback": 2,
+                      "recovery": 2}
+    assert set(counts) <= set(CATEGORIES)
+
+
+def test_tee_tracer_fans_out_to_all_children():
+    a = ObsTracer(clock=FakeClock(1), capacity=8)
+    b = ObsTracer(clock=FakeClock(2), capacity=8)
+    tee = TeeTracer([a, b])
+    tee.on_store(64)
+    tee.on_span("recovery", "recover-pool", 5, 0, None)
+    assert len(a.ring) == len(b.ring) == 2
+    assert isinstance(tee, Tracer)
+
+
+# -- exporters --------------------------------------------------------------
+
+def test_jsonl_round_trip_with_cell_tag(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    events = [(EVENT_SPAN, "link", "h2d", 10, 5, {"bytes": 64}),
+              (EVENT_INSTANT, "drain", "undo-durable", 20, 0, None)]
+    write_jsonl(events, path, extra={"cell": "store_heavy/pax"})
+    records = read_jsonl(path)
+    assert len(records) == 2
+    assert records[0]["cat"] == "link" and records[0]["dur_ns"] == 5
+    assert all(r["cell"] == "store_heavy/pax" for r in records)
+    assert "dur_ns" not in records[1]
+
+
+def test_read_jsonl_rejects_bad_traces(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ConfigError):
+        read_jsonl(str(empty))
+    noheader = tmp_path / "noheader.jsonl"
+    noheader.write_text('{"ph": "i", "ts_ns": 0}\n')
+    with pytest.raises(ConfigError):
+        read_jsonl(str(noheader))
+    badline = tmp_path / "bad.jsonl"
+    badline.write_text('{"schema": "repro.obs/1"}\nnot json\n')
+    with pytest.raises(ConfigError):
+        read_jsonl(str(badline))
+
+
+def test_chrome_trace_is_valid_and_lanes_by_category():
+    records = [event_to_dict((EVENT_SPAN, "store", "miss", 1000, 250,
+                              {"line": 64})),
+               event_to_dict((EVENT_INSTANT, "epoch-commit",
+                              "epoch-advance", 2000, 0, {"epoch": 1}))]
+    trace = chrome_trace(records)
+    assert validate_chrome_trace(trace) == []
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert spans[0]["ts"] == 1.0 and spans[0]["dur"] == 0.25
+    assert spans[0]["args"]["ts_ns"] == 1000
+    names = {e["args"]["name"] for e in trace["traceEvents"]
+             if e["ph"] == "M"}
+    assert set(CATEGORIES) <= names
+    lanes = {e["tid"] for e in trace["traceEvents"] if e["ph"] != "M"}
+    assert len(lanes) == 2
+
+
+def test_validate_chrome_trace_reports_problems():
+    assert validate_chrome_trace([]) == \
+        ["top level must be a JSON object, got list"]
+    assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+    bad = {"traceEvents": [
+        {"ph": "Q", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+        {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+        {"ph": "i", "pid": 0, "tid": "zero", "ts": 0},
+    ]}
+    problems = validate_chrome_trace(bad)
+    assert any("unsupported phase" in p for p in problems)
+    assert any("non-negative dur" in p for p in problems)
+    assert any("integer tid" in p for p in problems)
+    assert any("string name" in p for p in problems)
+
+
+# -- metrics ----------------------------------------------------------------
+
+def test_registry_rejects_non_statgroups():
+    with pytest.raises(ConfigError):
+        MetricsRegistry().register(object())
+
+
+def test_registry_collects_counters_and_histogram_quantiles():
+    group = StatGroup("widget")
+    group.counter("spins").add(3)
+    hist = group.histogram("spin_ns")
+    for value in (10, 20, 30, 40):
+        hist.record(value)
+    registry = MetricsRegistry(clock=FakeClock(777))
+    registry.register(group, component="test")
+    samples = registry.collect()
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+    assert by_name["repro_widget_spins"][0][1] == 3
+    assert by_name["repro_widget_spin_ns_count"][0][1] == 4
+    assert by_name["repro_widget_spin_ns_sum"][0][1] == 100
+    quantiles = {labels["quantile"]: value
+                 for labels, value in by_name["repro_widget_spin_ns"]}
+    assert quantiles["0.5"] == 25.0
+    record = registry.snapshot()
+    assert record["sim_ns"] == 777 and registry.snapshots == [record]
+
+
+def test_registry_register_machine_and_prometheus_text():
+    backend = make_backend("pax")
+    for i in range(32):
+        backend.put(i % 8, i)
+    registry = MetricsRegistry().register_machine(backend, cell="t/pax")
+    text = registry.to_prometheus()
+    assert 'cell="t/pax"' in text
+    assert "repro_hierarchy_stores" in text
+    assert "repro_cxl_h2d_messages" in text or "cxl" in text
+    # Deterministic: rendering twice gives the same text.
+    assert text == registry.to_prometheus()
+
+
+def test_prometheus_name_sanitizes():
+    assert prometheus_name("repro", "core0.l1", "hits") == \
+        "repro_core0_l1_hits"
+    assert prometheus_name("9lives").startswith("repro_")
+
+
+# -- summarize aggregation --------------------------------------------------
+
+def test_summarize_events_percentiles_and_epochs():
+    records = [event_to_dict((EVENT_SPAN, "load", "miss", i * 10, i, None))
+               for i in range(1, 101)]
+    records.append(event_to_dict((EVENT_INSTANT, "epoch-commit",
+                                  "epoch-advance", 50, 0, {"epoch": 1})))
+    summary = summarize_events(records)
+    load = summary["categories"]["load"]
+    assert load["events"] == load["spans"] == 100
+    assert load["p50_ns"] == pytest.approx(50.5)
+    assert load["p99_ns"] == pytest.approx(99.0)   # 99.01 rounded to 1dp
+    assert load["max_ns"] == 100
+    assert [e["args"]["epoch"] for e in summary["epochs"]] == [1]
+
+
+# -- CLI exit contract ------------------------------------------------------
+
+def _write_trace(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    events = [(EVENT_SPAN, "store", "miss", 100, 25, {"line": 64}),
+              (EVENT_INSTANT, "epoch-commit", "epoch-advance", 200, 0,
+               {"epoch": 1})]
+    write_jsonl(events, path)
+    return path
+
+
+def test_cli_summarize_prints_categories(tmp_path, capsys):
+    path = _write_trace(tmp_path)
+    assert main(["summarize", path]) == 0
+    out = capsys.readouterr().out
+    assert "store" in out and "epoch-commit timeline" in out
+    assert main(["summarize", "--json", path]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["events"] == 2
+
+
+def test_cli_convert_then_validate(tmp_path, capsys):
+    path = _write_trace(tmp_path)
+    chrome = str(tmp_path / "trace.json")
+    assert main(["convert", path, "--to", "chrome", "-o", chrome]) == 0
+    with open(chrome) as handle:
+        assert validate_chrome_trace(json.load(handle)) == []
+    assert main(["validate", chrome]) == 0
+    assert main(["validate", path]) == 0      # JSONL flavour
+    capsys.readouterr()
+
+
+def test_cli_exit_1_on_invalid_chrome_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    assert main(["validate", str(bad)]) == 1
+    assert "unsupported phase" in capsys.readouterr().out
+
+
+def test_cli_exit_2_on_unreadable_input(tmp_path, capsys):
+    assert main(["summarize", str(tmp_path / "missing.jsonl")]) == 2
+    notjson = tmp_path / "x.json"
+    notjson.write_text("{")
+    assert main(["validate", str(notjson)]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["summarize", str(empty)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_usage_error_without_subcommand():
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_chrome_export_file_round_trip(tmp_path):
+    path = _write_trace(tmp_path)
+    out = str(tmp_path / "chrome.json")
+    write_chrome_trace(read_jsonl(path), out)
+    with open(out) as handle:
+        obj = json.load(handle)
+    assert validate_chrome_trace(obj) == []
+    assert obj["otherData"]["schema"] == "repro.obs/1"

@@ -1,0 +1,100 @@
+"""Golden determinism tests: tracing must never perturb the simulation.
+
+Each test drives two identical seeded runs — one untraced, one with an
+``ObsTracer`` attached — and asserts the simulated results are
+*byte-identical*: same final ``sim_ns``, same stat counters, same
+histogram contents. This is the guarantee docs/observability.md
+advertises and the ``python -m repro.obs overhead`` CI gate enforces on
+wall-clock; here it is enforced on simulated state exactly.
+"""
+
+from repro.cache.cache import CacheConfig
+from repro.libpax.pool import PaxPool
+from repro.obs import MetricsRegistry, ObsTracer
+from repro.perfbench import run_cell
+from repro.sim.rng import DeterministicRng
+from repro.structures.hashmap import HashMap
+
+POOL_SIZE = 2 * 1024 * 1024
+LOG_SIZE = 64 * 1024
+
+SMALL_CACHES = dict(
+    l1_config=CacheConfig(size_bytes=4 * 1024, ways=4),
+    l2_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+    llc_config=CacheConfig(size_bytes=64 * 1024, ways=8),
+)
+
+
+def _make_pool():
+    return PaxPool.map_pool(pool_size=POOL_SIZE, log_size=LOG_SIZE,
+                            **SMALL_CACHES)
+
+
+def _drive_crash_recover(pool):
+    """A seeded put/persist/crash/recover/put workload."""
+    rng = DeterministicRng(7)
+    structure = pool.persistent(HashMap)
+    for i in range(300):
+        structure.put(rng.randint(0, 15), i)
+        if i % 60 == 59:
+            pool.persist()
+    pool.crash()
+    pool.restart()
+    structure = pool.reattach_root(HashMap)
+    for i in range(100):
+        structure.put(rng.randint(0, 15), i + 1000)
+    pool.persist()
+
+
+def _machine_fingerprint(pool):
+    """Every observable stat series plus the simulated clock."""
+    registry = MetricsRegistry(clock=pool.machine.clock)
+    registry.register_machine(pool.machine)
+    return pool.machine.clock.now_ns, registry.to_prometheus()
+
+
+def test_traced_crash_recover_is_sim_identical_to_untraced():
+    untraced = _make_pool()
+    _drive_crash_recover(untraced)
+
+    traced = _make_pool()
+    tracer = ObsTracer().attach(traced.machine)
+    _drive_crash_recover(traced)
+
+    assert _machine_fingerprint(traced) == _machine_fingerprint(untraced)
+    # The trace itself actually observed the run.
+    counts = tracer.counts_by_category()
+    assert counts.get("recovery")           # crash + recover-pool + restart
+    assert counts.get("epoch-commit")       # persists + slot writes
+    assert counts.get("store")
+
+
+def test_traced_store_heavy_microworkload_is_sim_identical():
+    untraced = run_cell("store_heavy", "pax", ops=1500, records=300, seed=11)
+    tracer = ObsTracer()
+    traced = run_cell("store_heavy", "pax", ops=1500, records=300, seed=11,
+                      tracer=tracer)
+    assert traced["sim_ns"] == untraced["sim_ns"]
+    assert len(tracer.ring)                 # and events were captured
+
+
+def test_two_traced_runs_produce_identical_events():
+    events = []
+    for _ in range(2):
+        tracer = ObsTracer()
+        run_cell("mixed", "pax", ops=600, records=200, seed=5,
+                 tracer=tracer)
+        events.append(tracer.events())
+    assert events[0] == events[1]
+
+
+def test_ring_wraparound_under_a_real_workload():
+    tracer = ObsTracer(capacity=256)
+    run_cell("store_heavy", "pax", ops=1200, records=200, seed=3,
+             tracer=tracer)
+    assert len(tracer.ring) == 256
+    assert tracer.ring.dropped == tracer.ring.total - 256 > 0
+    # Oldest-first ordering survives the wrap (span starts are stamped
+    # before their children append, so compare endpoints, not every pair).
+    stamps = [event[3] for event in tracer.events()]
+    assert stamps[0] <= stamps[-1]

@@ -83,17 +83,19 @@ def test_cli_json_findings(tmp_path, capsys):
     dirty = dirty_file(tmp_path)
     assert main(["--json", "--no-baseline", str(dirty)]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload) == 1
-    entry = payload[0]
+    assert payload["schema"] == 1
+    assert len(payload["findings"]) == 1
+    entry = payload["findings"][0]
     assert sorted(entry) == ["col", "line", "message", "path", "rule"]
     assert entry["rule"] == "persist-order"
     assert entry["line"] == 3
 
 
-def test_cli_json_empty_array_when_clean(tmp_path, capsys):
+def test_cli_json_empty_findings_when_clean(tmp_path, capsys):
     clean = clean_file(tmp_path)
     assert main(["--json", "--no-baseline", str(clean)]) == 0
-    assert json.loads(capsys.readouterr().out) == []
+    assert json.loads(capsys.readouterr().out) == {"schema": 1,
+                                                   "findings": []}
 
 
 # -- baseline workflow ------------------------------------------------------
