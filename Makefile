@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench examples quicktest lint staticcheck \
 	fuzz fuzz-smoke perfbench perfbench-compare obs-smoke obs-overhead \
-	clean
+	chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -70,6 +70,17 @@ obs-smoke:
 
 obs-overhead:
 	PYTHONPATH=src $(PYTHON) -m repro.obs overhead
+
+# Chaos drill (docs/serving.md): live YCSB traffic through the serving
+# harness with 10 mid-traffic crash/recover cycles and a link storm,
+# PaxSan attached and events traced. Fails on any lost acknowledged
+# write, sanitizer finding, or recovery-deadline breach; the Prometheus
+# exposition and JSON record land in /tmp for artifact upload.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --clients 4 --ops 200 \
+		--crashes 10 --storms 2 --seed 42 --deadline-ns 50000000 \
+		--sanitize --trace /tmp/chaos-trace.jsonl \
+		--metrics /tmp/chaos-metrics.prom --json /tmp/chaos-drill.json
 
 examples:
 	@for script in examples/*.py; do \

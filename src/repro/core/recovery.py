@@ -34,7 +34,7 @@ cannot tell a recovered pool from a cleanly closed one.
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.errors import PoolError, RecoveryError
+from repro.errors import PoolError, RecoveryError, RecoveryTimeout
 from repro.pm.log import TAIL_CORRUPT, TAIL_DISORDER, UndoLogRegion
 from repro.util.constants import CACHE_LINE_SIZE
 
@@ -59,6 +59,12 @@ class RecoveryReport:
     #: CRC verdicts. ``(-1, (False, False))`` when the record was gone.
     epoch_slot_used: int = 0
     epoch_slots_valid: Tuple[bool, ...] = (True, True)
+    #: Simulated time recovery consumed (scan + rollback writes), in ns.
+    #: Populated — and charged to the machine's clock — when
+    #: :func:`recover_pool` is given a clock; callers no longer re-derive
+    #: it from clock deltas. Zero for clock-less (untimed) recovery.
+    started_ns: float = 0.0
+    elapsed_ns: float = 0.0
 
     @property
     def was_dirty(self):
@@ -87,18 +93,34 @@ def _trace_outcome(pool, name, report):
         })
 
 
-def recover_pool(pool):
+def recover_pool(pool, clock=None, scan_ns=0.0, write_ns=0.0,
+                 deadline_ns=None):
     """Roll the pool's data region back to its last committed snapshot.
 
     Returns a :class:`RecoveryReport`. Idempotent: running it twice (e.g.
     a crash during recovery, which only re-writes old values) is safe
     because undo records are only discarded after the rollback completes.
 
+    With ``clock``, recovery charges simulated time — ``scan_ns`` per
+    durable record scanned plus ``write_ns`` per line rolled back — and
+    stamps ``started_ns``/``elapsed_ns`` into the report, so callers
+    (the serving harness's recovery-time SLO, tests) read the cost off
+    the report instead of re-deriving it from clock deltas. On a clean
+    pool the charge is zero, so opening an already-consistent pool never
+    moves time.
+
+    ``deadline_ns`` bounds that elapsed time: recovery still runs to
+    completion (aborting mid-rollback would tear the snapshot), but if
+    the charged time exceeded the deadline a typed
+    :class:`~repro.errors.RecoveryTimeout` is raised *after* the pool is
+    consistent, carrying the finished report.
+
     Raises :class:`RecoveryError` (with the partial report attached) when
     the durable bytes admit no consistent snapshot: mid-log corruption,
     live records out of epoch order, a record targeting bytes outside the
     data region, or a destroyed epoch record.
     """
+    started_ns = clock.now_ns if clock is not None else 0.0
     try:
         committed, slot_used, slots_valid = pool.epoch_record()
     except PoolError as exc:
@@ -109,7 +131,8 @@ def recover_pool(pool):
     region = UndoLogRegion(pool.device, pool.log_base, pool.log_size)
     report = RecoveryReport(committed_epoch=committed,
                             epoch_slot_used=slot_used,
-                            epoch_slots_valid=slots_valid)
+                            epoch_slots_valid=slots_valid,
+                            started_ns=started_ns)
     scan = region.scan_report(committed)
     report.log_entries_valid = len(scan.entries)
     report.log_entries_torn = region.stats.get("entries_torn")
@@ -151,7 +174,17 @@ def recover_pool(pool):
         pool.device.write(entry.addr, data)
         report.records_rolled_back += 1
         report.lines_restored.append(entry.addr)
+    report.elapsed_ns = (scan_ns * report.records_scanned
+                         + write_ns * report.records_rolled_back)
+    if clock is not None and report.elapsed_ns:
+        clock.advance(report.elapsed_ns)
     # Only now is it safe to discard the log.
     region.reset()
     _trace_outcome(pool, "recover-pool", report)
+    if deadline_ns is not None and report.elapsed_ns > deadline_ns:
+        raise RecoveryTimeout(
+            "recovery took %.0f ns (%d records rolled back), past the "
+            "%.0f ns deadline" % (report.elapsed_ns,
+                                  report.records_rolled_back, deadline_ns),
+            report=report)
     return report

@@ -10,14 +10,19 @@ message before giving up with :class:`~repro.errors.LinkError`.
 
 Latency accounting: a message that is dropped ``k`` times costs
 
-    k * timeout_ns + sum(min(base * 2^i, cap) for i in range(k))
+    k * timeout_ns + sum(jittered(min(base * 2^i, cap)) for i in range(k))
 
 on top of the normal link latency of the successful attempt, and every
 retransmitted attempt re-charges the underlying link (hop latency and
-bandwidth-queue occupancy — retries consume real wire time).
+bandwidth-queue occupancy — retries consume real wire time). With
+``spec.jitter`` > 0 each backoff is shortened by a deterministic random
+fraction of itself (up to ``jitter``), drawn from the link's seeded RNG —
+the classic thundering-herd de-synchronizer, still bit-for-bit replayable.
 
-Stats (visible in the wrapper's StatGroup): ``drops``, ``retries``,
-``delays``, ``backoff_ns``, ``timeout_ns``, ``messages``.
+Stats (visible in the wrapper's StatGroup, and in any
+:class:`~repro.obs.metrics.MetricsRegistry` that registers the machine):
+``drops``, ``retries``, ``retransmits``, ``delays``, ``backoff_ns``,
+``timeout_ns``, ``messages``.
 """
 
 from repro.errors import LinkError
@@ -67,6 +72,20 @@ class LossyLink:
         """Latency of a request/response pair."""
         return self.send_h2d(request) + self.send_d2h(response)
 
+    def set_spec(self, spec):
+        """Swap the loss behaviour mid-run (chaos link storms).
+
+        The replacement is validated; the link's RNG is deliberately
+        *kept* (the new spec's ``seed`` is ignored) so that entering and
+        leaving a storm continues one deterministic drop stream instead
+        of replaying the old one. Returns the previous spec so a storm
+        controller can restore it when the window closes.
+        """
+        previous = self.spec
+        self.spec = spec.validate()
+        self.stats.counter("spec_swaps").add(1)
+        return previous
+
     # -- loss machinery ------------------------------------------------------
 
     def _send(self, sender, message, direction):
@@ -94,7 +113,12 @@ class LossyLink:
             penalty_ns += sender(message)
             backoff = min(self.spec.backoff_base_ns * (2 ** (attempt - 1)),
                           self.spec.backoff_cap_ns)
+            if self.spec.jitter:
+                # De-synchronize retransmit schedules: shave a random
+                # fraction (up to `jitter`) off the exponential step.
+                backoff -= backoff * self.spec.jitter * self._rng.random()
             penalty_ns += self.spec.timeout_ns + backoff
+            self.stats.counter("retransmits").add(1)
             self.stats.counter("timeout_ns").add(int(self.spec.timeout_ns))
             self.stats.counter("backoff_ns").add(int(backoff))
 

@@ -64,6 +64,57 @@ class ConfigError(ReproError):
     """A component was constructed with invalid configuration."""
 
 
+class FaultPlanError(ConfigError):
+    """A fault plan or chaos timeline is structurally invalid.
+
+    Raised at *build* time — an overlapping or zero-width fault window,
+    an unknown window kind, a window missing its payload — so a bad
+    drill schedule fails before any traffic is admitted, never mid-run.
+    """
+
+
+class RecoveryTimeout(ReproError):
+    """Recovery finished, but took longer than its deadline.
+
+    The pool *is* consistent when this is raised — rollback always runs
+    to completion (aborting mid-rollback would leave a torn snapshot).
+    The timeout is an SLO signal for serving harnesses: recovery blew
+    its budget. Carries the full
+    :class:`~repro.core.recovery.RecoveryReport` (including
+    ``elapsed_ns``) so callers can see where the time went.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class ServeError(ReproError):
+    """Base class for serving-harness request failures (:mod:`repro.serve`).
+
+    Subclasses are the typed verdicts a request can fail with; clients
+    decide retry behaviour by type, never by string matching.
+    """
+
+
+class Overload(ServeError):
+    """A request was rejected at admission: the bounded queue is full."""
+
+
+class ServeTimeout(ServeError):
+    """A request waited past its deadline before the server reached it."""
+
+
+class ReadOnlyError(ServeError):
+    """A write was rejected while the harness is degraded to read-only
+    mode (device or link marked unhealthy)."""
+
+
+class ServeUnavailable(ServeError):
+    """A request was in flight when the machine crashed; the client may
+    retry after recovery."""
+
+
 class StructureError(ReproError, IndexError):
     """A persistent data structure was asked for something it cannot do
     (pop from empty, index out of range, enqueue to a full ring).

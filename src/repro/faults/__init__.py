@@ -24,8 +24,11 @@ from repro.faults.device import FaultyPmDevice
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     BIT_FLIP_REGIONS,
+    WINDOW_KINDS,
     BitFlipSpec,
     FaultPlan,
+    FaultTimeline,
+    FaultWindow,
     LinkFaultSpec,
 )
 
@@ -34,7 +37,10 @@ __all__ = [
     "BitFlipSpec",
     "FaultInjector",
     "FaultPlan",
+    "FaultTimeline",
+    "FaultWindow",
     "FaultyPmDevice",
     "LinkFaultSpec",
     "LossyLink",
+    "WINDOW_KINDS",
 ]

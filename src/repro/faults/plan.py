@@ -27,9 +27,12 @@ Flips in unlogged data lines are undetectable by an undo-log scheme
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultPlanError
 
 BIT_FLIP_REGIONS = ("log", "epoch", "logged_data")
+
+#: Kinds a :class:`FaultWindow` can schedule over a serving drill.
+WINDOW_KINDS = ("crash", "link-storm")
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,11 @@ class LinkFaultSpec:
     backoff_base_ns: float = 500.0
     backoff_cap_ns: float = 64_000.0
     max_retries: int = 8
+    #: Fraction of each backoff randomly shaved off (0 = fixed
+    #: exponential schedule, 1 = full jitter down to zero). Jitter draws
+    #: come from the link's own :class:`~repro.sim.rng.DeterministicRng`,
+    #: so a jittered schedule still replays bit-for-bit from the seed.
+    jitter: float = 0.0
     seed: int = 42
 
     def validate(self):
@@ -62,6 +70,8 @@ class LinkFaultSpec:
             raise ConfigError("link fault latencies cannot be negative")
         if self.max_retries < 1:
             raise ConfigError("max_retries must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("backoff jitter must be in [0, 1]")
         return self
 
 
@@ -148,3 +158,126 @@ class FaultPlan:
         if self.link is not None:
             parts.append("lossy-link(drop=%.3f)" % self.link.drop_rate)
         return " + ".join(parts) if parts else "clean-crash"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled disturbance over a serving drill.
+
+    ``start``/``end`` are *request ticks* — the count of requests the
+    harness has served — so a window lands at the same point of the
+    workload on every replay regardless of latency parameters. The
+    interval is half-open, ``[start, end)``.
+
+    ``kind`` selects the payload:
+
+    ``crash``
+        A crash/recover cycle fires inside the window; ``plan`` (a
+        :class:`FaultPlan`) says how dirty the failure is.
+    ``link-storm``
+        The CXL link runs under ``link`` (a :class:`LinkFaultSpec`,
+        typically a much higher drop rate) while the window is open.
+    """
+
+    kind: str
+    start: int
+    end: int
+    plan: Optional["FaultPlan"] = None
+    link: Optional[LinkFaultSpec] = None
+
+    def validate(self):
+        """Raise :class:`FaultPlanError` on a malformed window."""
+        if self.kind not in WINDOW_KINDS:
+            raise FaultPlanError("fault window kind must be one of %r, "
+                                 "not %r" % (WINDOW_KINDS, self.kind))
+        if self.start < 0:
+            raise FaultPlanError("fault window cannot start before tick 0 "
+                                 "(got %d)" % self.start)
+        if self.end <= self.start:
+            raise FaultPlanError(
+                "zero-width fault window [%d, %d): end must exceed start"
+                % (self.start, self.end))
+        if self.kind == "crash" and self.plan is not None:
+            self.plan.validate()
+        if self.kind == "link-storm":
+            if self.link is None:
+                raise FaultPlanError(
+                    "link-storm window [%d, %d) needs a LinkFaultSpec"
+                    % (self.start, self.end))
+            self.link.validate()
+        return self
+
+    def contains(self, tick):
+        """True if ``tick`` falls inside the half-open window."""
+        return self.start <= tick < self.end
+
+    def describe(self):
+        """One-line human summary."""
+        detail = ""
+        if self.kind == "crash" and self.plan is not None:
+            detail = " " + self.plan.describe()
+        elif self.kind == "link-storm":
+            detail = " drop=%.3f" % self.link.drop_rate
+        return "%s[%d,%d)%s" % (self.kind, self.start, self.end, detail)
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """The full chaos schedule for one drill: a set of fault windows.
+
+    Structural problems — an overlap between two windows of the same
+    kind, a zero-width window — are caught here, by :meth:`build` /
+    :meth:`validate`, with a typed :class:`~repro.errors.FaultPlanError`.
+    Catching them at build time matters because a drill discovers an
+    overlap only when the second window opens, potentially hours into a
+    long soak. Windows of *different* kinds may overlap (a crash during
+    a link storm is a legitimate, interesting drill).
+    """
+
+    windows: Tuple[FaultWindow, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(cls, windows):
+        """Validate and freeze a timeline from an iterable of windows."""
+        return cls(windows=tuple(windows)).validate()
+
+    def validate(self):
+        """Raise :class:`FaultPlanError` on bad windows or same-kind
+        overlap; returns self for chaining."""
+        for window in self.windows:
+            window.validate()
+        by_kind = {}
+        for window in self.windows:
+            by_kind.setdefault(window.kind, []).append(window)
+        for kind in sorted(by_kind):
+            ordered = sorted(by_kind[kind], key=lambda w: (w.start, w.end))
+            for before, after in zip(ordered, ordered[1:]):
+                if after.start < before.end:
+                    raise FaultPlanError(
+                        "overlapping %s windows: [%d, %d) and [%d, %d)"
+                        % (kind, before.start, before.end,
+                           after.start, after.end))
+        return self
+
+    def active(self, kind, tick):
+        """The ``kind`` window containing ``tick``, or None.
+
+        Same-kind windows are disjoint (validated), so at most one
+        matches.
+        """
+        for window in self.windows:
+            if window.kind == kind and window.contains(tick):
+                return window
+        return None
+
+    def of_kind(self, kind):
+        """Every window of ``kind``, ordered by start tick."""
+        return sorted((w for w in self.windows if w.kind == kind),
+                      key=lambda w: w.start)
+
+    def describe(self):
+        """One-line human summary (drill logs and failure messages)."""
+        if not self.windows:
+            return "no-faults"
+        ordered = sorted(self.windows, key=lambda w: (w.start, w.end))
+        return " + ".join(window.describe() for window in ordered)

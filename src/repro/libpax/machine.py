@@ -196,9 +196,16 @@ class PaxMachine(_BaseMachine):
                                         backing_path=backing_path)
         self.pool = Pool.open_or_format(self.pm, log_size=log_size)
         # Recovery runs before anything touches the pool (paper §3.4); on
-        # a fresh pool it is a no-op.
-        self.recovery_report = recover_pool(self.pool)
+        # a fresh pool it is a no-op (and charges zero simulated time).
+        self.recovery_report = self._recover(deadline_ns=None)
         self._bring_up_device()
+
+    def _recover(self, deadline_ns):
+        """Timed recovery: scan/rollback costs charge the machine clock."""
+        return recover_pool(self.pool, clock=self.clock,
+                            scan_ns=self.latency.media.pm_read_ns,
+                            write_ns=self.latency.media.pm_write_ns,
+                            deadline_ns=deadline_ns)
 
     def _bring_up_device(self):
         self.device = PaxDevice(self.pool, self.latency,
@@ -306,16 +313,22 @@ class PaxMachine(_BaseMachine):
         self.crashed = True
         self.stats.counter("crashes").add(1)
 
-    def restart(self):
+    def restart(self, recovery_deadline_ns=None):
         """Reboot after a crash: recover the pool, rebuild volatile state.
 
-        Returns the :class:`~repro.core.recovery.RecoveryReport`.
+        Returns the :class:`~repro.core.recovery.RecoveryReport`; its
+        ``elapsed_ns`` is the simulated time recovery charged. With
+        ``recovery_deadline_ns``, a recovery that blows the budget raises
+        :class:`~repro.errors.RecoveryTimeout` — after the pool is
+        consistent, but before volatile state is rebuilt, so the machine
+        is still ``crashed`` and a deadline-free ``restart()`` retry
+        finishes bring-up (idempotent: the log was already reset).
         """
         if not self.crashed:
             raise CrashedError("restart() is only valid after crash()")
         # A fresh hierarchy models the rebooted host.
         self.hierarchy = self._fresh_hierarchy()
-        self.recovery_report = recover_pool(self.pool)
+        self.recovery_report = self._recover(deadline_ns=recovery_deadline_ns)
         self._bring_up_device()
         self.crashed = False
         self._propagate_tracer()

@@ -261,14 +261,17 @@ class PaxPool:
         """Simulate power loss."""
         self.machine.crash()
 
-    def restart(self):
+    def restart(self, recovery_deadline_ns=None):
         """Reboot + recover; re-attaches the allocator. Returns the report.
 
         A crash that predates the very first persist rolls the allocator
         header itself away — recovery then re-creates it (the pool is
-        genuinely empty in that case).
+        genuinely empty in that case). ``recovery_deadline_ns`` is the
+        recovery-time SLO: past it, :class:`~repro.errors.RecoveryTimeout`
+        (see :meth:`PaxMachine.restart`).
         """
-        report = self.machine.restart()
+        report = self.machine.restart(
+            recovery_deadline_ns=recovery_deadline_ns)
         self.allocator = PmAllocator.create_or_attach(
             self._mem, self.machine.heap_size)
         return report

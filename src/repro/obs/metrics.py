@@ -24,7 +24,9 @@ simulation does, only what you can see of it.
 from repro.errors import ConfigError
 
 #: Quantiles exported per histogram, as (label value, percentile).
-QUANTILES = (("0.5", 50.0), ("0.99", 99.0))
+#: p999 rides along for the serving harness's tail-latency SLOs
+#: (docs/serving.md); reservoir-based, so it is an estimate like p99.
+QUANTILES = (("0.5", 50.0), ("0.99", 99.0), ("0.999", 99.9))
 
 
 def prometheus_name(*parts):

@@ -1,0 +1,46 @@
+"""repro.serve — the chaos-hardened serving harness.
+
+A deterministic, sim-time serving frontend over PAX pools: simulated
+clients submit YCSB-derived request streams through admission control
+(bounded queue, typed backpressure, deterministic backoff-and-retry);
+persist requests coalesce into group commits (one epoch commit per
+batch); and a chaos controller schedules mid-traffic crash/recover
+cycles and link storms, with SLO accounting (tail latencies, error
+budgets, recovery-time histograms) exported through ``repro.obs``.
+
+See docs/serving.md for the architecture and the drill contract.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batch import GroupCommitBatcher
+from repro.serve.chaos import ChaosController, build_timeline
+from repro.serve.clients import (
+    Request,
+    RetryPolicy,
+    SimClient,
+    build_client_script,
+)
+from repro.serve.harness import (
+    ServeConfig,
+    ServeHarness,
+    ServeReport,
+    run_drill,
+)
+from repro.serve.slo import REQUEST_KINDS, SloTracker
+
+__all__ = [
+    "AdmissionQueue",
+    "ChaosController",
+    "GroupCommitBatcher",
+    "REQUEST_KINDS",
+    "Request",
+    "RetryPolicy",
+    "ServeConfig",
+    "ServeHarness",
+    "ServeReport",
+    "SimClient",
+    "SloTracker",
+    "build_client_script",
+    "build_timeline",
+    "run_drill",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` runs one chaos drill."""
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Admission control: the bounded request queue with typed verdicts.
+
+Backpressure is explicit and typed. A full queue rejects at the door
+with :class:`~repro.errors.Overload`; a request the server only reaches
+after its deadline is failed with :class:`~repro.errors.ServeTimeout`
+instead of being served late (serving it would waste capacity on an
+answer the client has already given up on — classic admission-control
+doctrine). Clients translate both into deterministic backoff-and-retry
+(:class:`~repro.serve.clients.RetryPolicy`).
+"""
+
+from collections import deque
+
+from repro.errors import ConfigError, Overload, ServeTimeout
+
+
+class AdmissionQueue:
+    """Bounded FIFO of :class:`~repro.serve.clients.Request` objects."""
+
+    def __init__(self, max_depth=64, timeout_ns=2_000_000.0):
+        if max_depth < 1:
+            raise ConfigError("admission queue depth must be at least 1")
+        if timeout_ns <= 0:
+            raise ConfigError("admission timeout must be positive")
+        self.max_depth = max_depth
+        self.timeout_ns = timeout_ns
+        self._queue = deque()
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def full(self):
+        """True when the next :meth:`offer` would be rejected."""
+        return len(self._queue) >= self.max_depth
+
+    def offer(self, request, now_ns):
+        """Admit ``request`` or return a typed :class:`Overload` verdict.
+
+        Returns None on admission; the error object (never raised here —
+        the harness attaches it to the completed request) on rejection.
+        """
+        if self.full:
+            return Overload(
+                "queue full (%d/%d) at %d ns; request c%d#%d rejected"
+                % (len(self._queue), self.max_depth, now_ns,
+                   request.client_id, request.seq))
+        request.enqueued_ns = now_ns
+        self._queue.append(request)
+        return None
+
+    def pop(self, now_ns):
+        """Next request to serve, as ``(request, error)``.
+
+        ``error`` is a :class:`ServeTimeout` when the head request's
+        deadline passed while it queued — the caller must fail it and
+        keep popping. ``(None, None)`` when the queue is empty.
+        """
+        if not self._queue:
+            return None, None
+        request = self._queue.popleft()
+        waited = now_ns - request.enqueued_ns
+        if waited > self.timeout_ns:
+            return request, ServeTimeout(
+                "request c%d#%d waited %.0f ns (> %.0f ns deadline)"
+                % (request.client_id, request.seq, waited, self.timeout_ns))
+        return request, None
+
+    def drain(self):
+        """Remove and return every queued request (crash replay path)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained

@@ -1,0 +1,110 @@
+"""Group-commit batching: many clients' persists, one epoch commit.
+
+The paper's device amortizes snapshot cost over an epoch (§3.2); a
+serving frontend amortizes it over *clients*: persist requests park in a
+:class:`GroupCommitBatcher` and a single ``pool.persist()`` — one device
+epoch commit, one snoop sweep — acknowledges the whole batch. The batch
+flushes when it reaches ``batch_max`` waiters or when the oldest waiter
+has been parked for ``batch_delay_ns`` of simulated time; an idle server
+fast-forwards its clock to that deadline rather than flushing early, so
+the delay window is always given a chance to coalesce.
+"""
+
+from repro.errors import ConfigError
+
+
+class GroupCommitBatcher:
+    """Parks persist requests for one pool and commits them together."""
+
+    def __init__(self, pool, clock, batch_max=16, batch_delay_ns=150_000.0):
+        if batch_max < 1:
+            raise ConfigError("group-commit batch size must be at least 1")
+        if batch_delay_ns < 0:
+            raise ConfigError("group-commit delay cannot be negative")
+        self.pool = pool
+        self.clock = clock
+        self.batch_max = batch_max
+        self.batch_delay_ns = batch_delay_ns
+        self._waiters = []
+        self._opened_ns = None
+
+    def __len__(self):
+        return len(self._waiters)
+
+    @property
+    def waiting(self):
+        """True while any persist request is parked in the open batch."""
+        return bool(self._waiters)
+
+    def park(self, request):
+        """Add a persist request to the open batch."""
+        if not self._waiters:
+            self._opened_ns = self.clock.now_ns
+        self._waiters.append(request)
+        request.waiting_shards += 1
+
+    def due(self, now_ns):
+        """True when the open batch must flush before more work runs."""
+        if not self._waiters:
+            return False
+        if len(self._waiters) >= self.batch_max:
+            return True
+        # Same expression as :attr:`deadline_ns`: ``now - opened >= delay``
+        # is NOT float-equivalent to ``now >= opened + delay``, and the
+        # idle path advances the clock exactly to the deadline — the two
+        # must agree or the harness stalls on the boundary.
+        return now_ns >= self._opened_ns + self.batch_delay_ns
+
+    @property
+    def deadline_ns(self):
+        """Sim-time when the open batch ages out (None when empty).
+
+        The harness's idle path advances the clock *to* this deadline
+        rather than flushing early — a lone persist waits its full
+        ``batch_delay_ns`` for co-travelers, which is where group
+        commit's coalescing comes from under closed-loop clients.
+        """
+        if not self._waiters:
+            return None
+        return self._opened_ns + self.batch_delay_ns
+
+    def flush(self):
+        """Commit one epoch covering every parked persist.
+
+        Returns ``(waiters, commit_ns)``: the requests whose durability
+        is now acknowledged (crash-failed ones are dropped, not
+        acknowledged) and the blocking commit latency. Returns
+        ``([], 0.0)`` when nothing is parked — a crash may have failed
+        every waiter — so idle callers can flush unconditionally.
+        """
+        waiters = [w for w in self._waiters if not w.failed]
+        if not waiters:
+            self._waiters = []
+            self._opened_ns = None
+            return [], 0.0
+        # Persist before clearing: if the commit itself dies (a lossy
+        # link giving up mid-snapshot), the batch stays parked and the
+        # caller's fail-stop path fails every waiter with a typed error.
+        commit_ns = self.pool.persist()
+        self._waiters = []
+        self._opened_ns = None
+        for waiter in waiters:
+            waiter.waiting_shards -= 1
+        return waiters, commit_ns
+
+    def fail_all(self):
+        """Crash path: every parked waiter is failed, nothing commits.
+
+        Returns only the *freshly* failed requests (a multi-shard persist
+        already failed by another shard's crash is excluded, so the
+        harness notifies each client exactly once); the harness attaches
+        the typed error to those.
+        """
+        waiters = self._waiters
+        self._waiters = []
+        self._opened_ns = None
+        fresh = [w for w in waiters if not w.failed]
+        for waiter in waiters:
+            waiter.failed = True
+            waiter.waiting_shards = 0
+        return fresh

@@ -1,0 +1,231 @@
+"""The chaos controller: scheduled faults under live traffic.
+
+Consumes a :class:`~repro.faults.plan.FaultTimeline` (validated at build
+time — see :class:`~repro.errors.FaultPlanError`) and makes it happen
+against the harness's shards:
+
+* **crash windows** — when a window opens, a
+  :class:`~repro.faults.injector.FaultInjector` is armed on a
+  deterministically chosen shard with a store-count fuse, so the power
+  cut lands *mid-operation* (half-linked node, mid-resize) exactly like
+  the offline fuzzer's worst cases; if the window closes before any
+  store burns the fuse, the crash is forced so every scheduled cycle
+  actually runs. The window's :class:`~repro.faults.plan.FaultPlan`
+  (default: torn in-flight write) is applied between power-off and
+  recovery.
+* **link-storm windows** — every shard's
+  :class:`~repro.cxl.lossy.LossyLink` is swapped to the storm's
+  :class:`~repro.faults.plan.LinkFaultSpec` for the duration. A health
+  monitor watches the retransmit counters; past
+  ``read_only_after_retransmits`` the controller reports the pool
+  unhealthy and the harness degrades to read-only until the storm ends.
+
+Everything keys off the served-request tick and forked RNGs, never
+wall-clock, so an entire drill replays bit-for-bit.
+"""
+
+from repro.cxl.lossy import LossyLink
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FaultTimeline,
+    FaultWindow,
+    LinkFaultSpec,
+)
+
+#: A crash window's store-count fuse is drawn from [0, this].
+MAX_STORES_UNTIL_CRASH = 300
+
+#: Storm link behaviour when none is specified: every tenth message
+#: dropped, jittered backoff, a deep retry budget (storms should degrade
+#: service, not kill shards outright).
+DEFAULT_STORM_LINK = LinkFaultSpec(drop_rate=0.10, jitter=0.5,
+                                   max_retries=64)
+
+#: Default crash dirtiness: tear the PM write in flight. (Log-interior
+#: and epoch-slot bit flips stay out of serving drills on purpose — they
+#: can legitimately cost a snapshot, which would muddy the drill's
+#: zero-lost-acked-writes contract; the offline fuzzer owns those.)
+DEFAULT_CRASH_PLAN = FaultPlan(torn_write=True)
+
+
+def build_timeline(total_ticks, crashes=0, storms=0, rng=None,
+                   crash_plan=None, storm_link=None, window_ticks=None):
+    """Evenly spaced, jitter-offset crash/storm windows over a drill.
+
+    ``total_ticks`` is the expected served-request count; ``crashes``
+    crash windows and ``storms`` link-storm windows are spread across
+    it, with deterministic jitter from ``rng`` so cycles do not land on
+    metronome ticks. Returns a validated
+    :class:`~repro.faults.plan.FaultTimeline`.
+    """
+    windows = []
+    width = window_ticks or max(10, total_ticks // (4 * max(crashes, 1)))
+    if crashes:
+        plan = crash_plan or DEFAULT_CRASH_PLAN
+        spacing = total_ticks / crashes
+        for index in range(crashes):
+            base = int(index * spacing) + 1
+            offset = rng.randint(0, max(1, int(spacing) // 4)) if rng else 0
+            start = base + offset
+            windows.append(FaultWindow("crash", start, start + width,
+                                       plan=plan))
+    if storms:
+        spec = storm_link or DEFAULT_STORM_LINK
+        storm_width = window_ticks or max(10, total_ticks // (3 * storms))
+        spacing = total_ticks / storms
+        for index in range(storms):
+            # Offset storms half a stride from crashes so same-kind
+            # windows stay disjoint by construction.
+            start = int(index * spacing + spacing / 2) + 1
+            windows.append(FaultWindow("link-storm", start,
+                                       start + storm_width, link=spec))
+    return FaultTimeline.build(windows)
+
+
+class ChaosController:
+    """Drives one timeline against the harness's shards."""
+
+    def __init__(self, timeline, shards, rng, slo,
+                 read_only_after_retransmits=None):
+        self.timeline = timeline.validate()
+        self.shards = shards                   # list of ShardState
+        self.rng = rng
+        self.slo = slo
+        self.read_only_after_retransmits = read_only_after_retransmits
+        self._crash_windows = timeline.of_kind("crash")
+        # Deterministic shard targeting, fixed up front: window order is
+        # defined, so the draw sequence is too.
+        self._crash_targets = [rng.randint(0, len(shards) - 1)
+                               for _ in self._crash_windows]
+        self._next_crash = 0
+        self._armed = None                     # (window, shard_index)
+        self._injector = None
+        self._storm = None
+        self._storm_saved = []                 # (shard_index, previous spec)
+        self._storm_retransmit_base = 0
+        self._degraded = False
+
+    # -- health ------------------------------------------------------------
+
+    @property
+    def read_only(self):
+        """True while the harness must reject writes (degraded mode)."""
+        return self._degraded
+
+    def _retransmits_total(self):
+        total = 0
+        for shard in self.shards:
+            link = shard.pool.machine.link
+            if isinstance(link, LossyLink):
+                total += link.stats.get("retransmits")
+        return total
+
+    # -- per-tick driving ----------------------------------------------------
+
+    def begin_tick(self, tick):
+        """Advance chaos state for serving tick ``tick``.
+
+        Returns the shard index that must *force-crash* now (its window
+        expired before the armed fuse burned), or None.
+        """
+        self._drive_storm(tick)
+        return self._drive_crash(tick)
+
+    def _drive_storm(self, tick):
+        storm = self.timeline.active("link-storm", tick)
+        if storm is self._storm:
+            if self._storm is not None:
+                self._check_health()
+            return
+        if self._storm is not None and storm is None:
+            self._exit_storm()
+        elif storm is not None:
+            self._enter_storm(storm)
+
+    def _enter_storm(self, storm):
+        self._storm = storm
+        self._storm_saved = []
+        for index, shard in enumerate(self.shards):
+            link = shard.pool.machine.link
+            if isinstance(link, LossyLink):
+                self._storm_saved.append((index, link.set_spec(storm.link)))
+        self._storm_retransmit_base = self._retransmits_total()
+        self.slo.storms_entered.add(1)
+
+    def _exit_storm(self):
+        for index, previous in self._storm_saved:
+            link = self.shards[index].pool.machine.link
+            if isinstance(link, LossyLink):
+                link.set_spec(previous)
+        self._storm = None
+        self._storm_saved = []
+        self._degraded = False
+
+    def _check_health(self):
+        if self.read_only_after_retransmits is None or self._degraded:
+            return
+        seen = self._retransmits_total() - self._storm_retransmit_base
+        if seen > self.read_only_after_retransmits:
+            self._degraded = True
+            self.slo.degraded_entered.add(1)
+
+    def reapply_storm(self, shard_index):
+        """Re-impose an active storm on a shard rebuilt by restart().
+
+        ``restart()`` rebuilds the link wrapper from the machine's base
+        spec, which would silently end the storm for that shard.
+        """
+        if self._storm is None:
+            return
+        link = self.shards[shard_index].pool.machine.link
+        if isinstance(link, LossyLink):
+            link.set_spec(self._storm.link)
+
+    # -- crash scheduling -----------------------------------------------------
+
+    def _drive_crash(self, tick):
+        if self._next_crash >= len(self._crash_windows):
+            return None
+        window = self._crash_windows[self._next_crash]
+        if self._armed is None:
+            if window.contains(tick):
+                self._arm(window)
+            return None
+        if tick >= window.end:
+            # Fuse never burned (read-heavy stretch, wrong shard): force
+            # the cycle so the schedule is honoured.
+            return self._armed[1]
+        return None
+
+    def _arm(self, window):
+        shard_index = self._crash_targets[self._next_crash]
+        machine = self.shards[shard_index].pool.machine
+        plan = window.plan or DEFAULT_CRASH_PLAN
+        self._injector = FaultInjector(machine, plan,
+                                       rng=self.rng.fork(
+                                           "crash-%d" % self._next_crash))
+        self._injector.arm(self.rng.randint(0, MAX_STORES_UNTIL_CRASH))
+        self._armed = (window, shard_index)
+
+    @property
+    def armed_shard(self):
+        """Index of the shard currently armed to crash, or None."""
+        return self._armed[1] if self._armed is not None else None
+
+    def crash_now(self, shard_index):
+        """Cut power on ``shard_index`` and apply the window's fault plan.
+
+        Used both for the armed-fuse path (the
+        :class:`~repro.crashtest.injector.CrashSignal` already unwound
+        the interrupted op; the machine is still powered) and the
+        forced path.
+        """
+        injector = self._injector
+        injector.crash_injector.disarm()
+        injector.crash()
+        self.slo.crashes.add(1)
+        self._armed = None
+        self._injector = None
+        self._next_crash += 1
+        return shard_index

@@ -1,0 +1,131 @@
+"""Command-line chaos drills: ``python -m repro.serve``.
+
+Runs one configured serving drill — live YCSB-derived traffic with
+group-commit batching and admission control, optionally under scheduled
+crashes and link storms — and reports the SLO summary plus a verdict.
+
+Exit codes: 0 the drill's contract held (zero lost acknowledged writes,
+zero sanitizer findings, zero recovery-deadline breaches); 1 it did
+not; 2 the configuration was rejected.
+
+Examples::
+
+    python -m repro.serve --clients 4 --ops 200 --crashes 3 --sanitize
+    python -m repro.serve --shards 2 --storms 1 --metrics serve.prom
+"""
+
+import argparse
+import json
+import sys
+
+from repro.errors import ConfigError, FaultPlanError
+from repro.serve.harness import ServeConfig, ServeHarness
+
+
+def build_parser():
+    """The drill CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Chaos-hardened serving drill: group commit, "
+                    "admission control, crash/recover under live traffic.")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=200,
+                        help="YCSB ops per client (default 200)")
+    parser.add_argument("--records", type=int, default=64,
+                        help="key-space size per client script")
+    parser.add_argument("--mix", default="A", help="YCSB mix (default A)")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="PAX pools sharing one clock (key %% shards)")
+    parser.add_argument("--crashes", type=int, default=0,
+                        help="scheduled mid-traffic crash/recover cycles")
+    parser.add_argument("--storms", type=int, default=0,
+                        help="scheduled link-storm windows")
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--timeout-ns", type=float, default=2_000_000.0,
+                        help="admission deadline in sim-ns")
+    parser.add_argument("--batch-max", type=int, default=16)
+    parser.add_argument("--batch-delay-ns", type=float, default=150_000.0)
+    parser.add_argument("--deadline-ns", type=float, default=None,
+                        help="recovery-time SLO in sim-ns (breaches fail "
+                             "the drill)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="shadow every shard with PaxSan; findings "
+                             "fail the drill")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write the drill's repro.obs events as JSONL")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the final Prometheus text exposition")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write a machine-readable drill record")
+    return parser
+
+
+def _drill_record(report, config):
+    p50, p99, p999 = report.slo.latency_percentiles()
+    return {
+        "seed": config.seed,
+        "clients": config.clients,
+        "shards": config.shards,
+        "sim_ns": report.sim_ns,
+        "requests_served": report.ticks,
+        "admitted": report.slo.admitted.value,
+        "completed": report.slo.completed.value,
+        "gave_up": report.slo.gave_up.value,
+        "error_budget_spent": report.slo.error_budget_spent,
+        "latency_p50_ns": p50,
+        "latency_p99_ns": p99,
+        "latency_p999_ns": p999,
+        "batches": report.slo.batches.value,
+        "batched_persists": report.slo.batched_persists.value,
+        "crashes": report.slo.crashes.value,
+        "recoveries": report.slo.recoveries.value,
+        "recovery_deadline_breaches":
+            report.slo.recovery_deadline_breaches.value,
+        "lost_acked_writes": report.slo.lost_acked_writes.value,
+        "sanitizer_findings": report.sanitizer_findings,
+        "ok": report.ok,
+    }
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    tracer = None
+    if args.trace:
+        from repro.obs import ObsTracer
+        tracer = ObsTracer()
+    try:
+        config = ServeConfig(
+            clients=args.clients, ops_per_client=args.ops,
+            record_count=args.records, mix=args.mix, seed=args.seed,
+            shards=args.shards, queue_depth=args.queue_depth,
+            timeout_ns=args.timeout_ns, batch_max=args.batch_max,
+            batch_delay_ns=args.batch_delay_ns, crashes=args.crashes,
+            storms=args.storms, recovery_deadline_ns=args.deadline_ns,
+            sanitize=args.sanitize)
+        harness = ServeHarness(config, tracer=tracer)
+    except (ConfigError, FaultPlanError) as exc:
+        print("serve: bad configuration: %s" % exc, file=sys.stderr)
+        return 2
+    report = harness.run()
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(report.to_prometheus())
+        print("wrote %s" % args.metrics)
+    if tracer is not None:
+        from repro.obs.export import write_jsonl
+        write_jsonl(tracer.events(), args.trace)
+        print("wrote %s (%d events, %d dropped)"
+              % (args.trace, len(tracer.ring), tracer.ring.dropped))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(_drill_record(report, config), handle, indent=2)
+            handle.write("\n")
+        print("wrote %s" % args.json_path)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Simulated clients: deterministic request streams over sim-time.
+
+Each client owns a YCSB-derived operation script (get/put/remove with
+periodic persist requests — the durability acknowledgements of a
+group-commit store), a forked :class:`~repro.sim.rng.DeterministicRng`
+for its think times and retry jitter, and a tiny state machine: it has at
+most one request outstanding, and on a typed failure it backs off and
+retries the *same* operation until its attempt budget runs out.
+
+Nothing here reads wall-clock or ambient entropy: adding a client, or
+reordering completions, never perturbs another client's key stream
+(each stream is an independent RNG fork).
+"""
+
+from repro.errors import ConfigError, ServeError
+from repro.sim.rng import DeterministicRng
+from repro.workloads.ycsb import YcsbWorkload
+
+
+class Request:
+    """One in-flight client request.
+
+    ``submitted_ns`` is stamped at first submission of the current
+    attempt; latency is measured from there to completion, so a retried
+    request's reported latency covers only the attempt that succeeded —
+    the queueing/backoff cost of failed attempts shows up in the error
+    counters, not the latency histogram.
+    """
+
+    __slots__ = ("client_id", "seq", "kind", "key", "value",
+                 "submitted_ns", "enqueued_ns", "attempt",
+                 "waiting_shards", "failed")
+
+    def __init__(self, client_id, seq, kind, key=None, value=None):
+        self.client_id = client_id
+        self.seq = seq
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.submitted_ns = 0.0
+        self.enqueued_ns = 0.0
+        self.attempt = 0
+        #: Shard batchers this persist request is still parked in
+        #: (group commit fans a persist out to every shard it must cover).
+        self.waiting_shards = 0
+        #: Set when the request failed while parked (crash): flushes skip it.
+        self.failed = False
+
+    def __repr__(self):
+        return "Request(c%d#%d %s key=%r)" % (
+            self.client_id, self.seq, self.kind, self.key)
+
+
+class RetryPolicy:
+    """Deterministic exponential backoff with jitter for client retries.
+
+    The schedule mirrors the link layer's
+    (:class:`~repro.cxl.lossy.LossyLink`): ``base * 2^attempt`` capped at
+    ``cap``, with up to ``jitter`` of each step shaved off by the
+    caller's RNG so retrying clients do not stampede in lockstep.
+    """
+
+    def __init__(self, base_ns=50_000.0, cap_ns=5_000_000.0, jitter=0.5,
+                 max_attempts=8):
+        if base_ns <= 0 or cap_ns < base_ns:
+            raise ConfigError("retry backoff needs 0 < base_ns <= cap_ns")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigError("retry jitter must be in [0, 1]")
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        self.base_ns = base_ns
+        self.cap_ns = cap_ns
+        self.jitter = jitter
+        self.max_attempts = max_attempts
+
+    def backoff_ns(self, attempt, rng):
+        """Backoff before retry number ``attempt`` (0-based)."""
+        step = min(self.base_ns * (2 ** attempt), self.cap_ns)
+        if self.jitter:
+            step -= step * self.jitter * rng.random()
+        return step
+
+
+def build_client_script(mix, record_count, op_count, seed,
+                        delete_fraction=0.05, persist_every=8):
+    """One client's operation list: ``(kind, key, value)`` tuples.
+
+    Derived from a :class:`~repro.workloads.ycsb.YcsbWorkload` run trace;
+    a ``delete_fraction`` of updates become removes (YCSB has no deletes,
+    serving drills need them), and a persist request — the group-commit
+    durability ack — is issued after every ``persist_every`` mutations
+    and once at the end of the script.
+    """
+    workload = YcsbWorkload(mix=mix, record_count=record_count,
+                            op_count=op_count, seed=seed)
+    rng = DeterministicRng(seed).fork("script")
+    script = []
+    mutations = 0
+    for op in workload.run_trace():
+        if op.kind == "put":
+            if delete_fraction and rng.random() < delete_fraction:
+                script.append(("remove", op.key, None))
+            else:
+                script.append(("put", op.key, op.value))
+            mutations += 1
+            if persist_every and mutations % persist_every == 0:
+                script.append(("persist", None, None))
+        else:
+            script.append(("get", op.key, None))
+    if not script or script[-1][0] != "persist":
+        script.append(("persist", None, None))
+    return script
+
+
+class SimClient:
+    """One closed-loop client: at most one outstanding request."""
+
+    def __init__(self, client_id, script, rng, retry_policy,
+                 mean_gap_ns=2_000.0):
+        self.client_id = client_id
+        self.script = script
+        self.rng = rng
+        self.retry = retry_policy
+        self.mean_gap_ns = mean_gap_ns
+        self.cursor = 0
+        self.attempt = 0
+        self.next_arrival_ns = self._think_gap()
+        #: Ops abandoned after the retry budget; the drill's error budget.
+        self.abandoned = 0
+
+    def _think_gap(self):
+        """Uniform jittered think time with the configured mean."""
+        return self.mean_gap_ns * 2.0 * self.rng.random()
+
+    @property
+    def done(self):
+        """True when the client's script is exhausted."""
+        return self.cursor >= len(self.script)
+
+    def ready(self, now_ns):
+        """True if this client wants to submit a request at ``now_ns``."""
+        return not self.done and self.next_arrival_ns <= now_ns
+
+    def make_request(self, seq, now_ns):
+        """Materialize the current script op as a :class:`Request`."""
+        kind, key, value = self.script[self.cursor]
+        request = Request(self.client_id, seq, kind, key, value)
+        request.submitted_ns = now_ns
+        request.attempt = self.attempt
+        return request
+
+    def on_success(self, now_ns):
+        """The outstanding request completed: move to the next op."""
+        self.cursor += 1
+        self.attempt = 0
+        self.next_arrival_ns = now_ns + self._think_gap()
+
+    def on_failure(self, error, now_ns):
+        """The outstanding request failed with typed ``error``.
+
+        Retryable (any :class:`~repro.errors.ServeError`) failures back
+        off and re-issue the same op until the attempt budget is spent;
+        then the op is abandoned and the script moves on. Returns True
+        if the op will be retried.
+        """
+        if isinstance(error, ServeError) \
+                and self.attempt + 1 < self.retry.max_attempts:
+            self.attempt += 1
+            self.next_arrival_ns = now_ns + self.retry.backoff_ns(
+                self.attempt, self.rng)
+            return True
+        self.abandoned += 1
+        self.cursor += 1
+        self.attempt = 0
+        self.next_arrival_ns = now_ns + self._think_gap()
+        return False

@@ -1,0 +1,531 @@
+"""The serving harness: live traffic against PAX pools under chaos.
+
+Everything upstream of this module is a piece — clients, admission,
+group commit, chaos scheduling, SLO accounting; :class:`ServeHarness`
+is the event loop that composes them over one shared
+:class:`~repro.sim.clock.SimClock`:
+
+1. **admit** every client whose think time has elapsed (deterministic
+   client order), applying :class:`~repro.serve.admission.AdmissionQueue`
+   backpressure at the door;
+2. **serve** the queue head: execute get/put/remove against the key's
+   shard inside ``pool.operation()``, or park a persist in every shard's
+   :class:`~repro.serve.batch.GroupCommitBatcher`;
+3. **flush** batches that are full, aged out, or blocking an otherwise
+   idle server — one ``pool.persist()`` epoch commit acknowledges the
+   whole batch (the paper's group commit, amortized across clients);
+4. **crash** when the chaos controller says so: fail parked waiters and
+   the interrupted request with typed errors, recover against the
+   recovery-time SLO, verify zero acknowledged writes were lost, replay
+   the queued requests, and keep serving.
+
+The loop is single-threaded and sim-time driven: "concurrency" is
+interleaving at request granularity, which is exactly the paper's §3.5
+contract (persist only at quiescence) made structural — a persist can
+never observe a half-applied operation because operations are atomic
+loop steps.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.crashtest.checker import SnapshotTracker, verify_map_integrity
+from repro.crashtest.injector import CrashSignal
+from repro.errors import (
+    ConfigError,
+    LinkError,
+    ReadOnlyError,
+    RecoveryTimeout,
+    ServeError,
+    ServeUnavailable,
+)
+from repro.cache.cache import CacheConfig
+from repro.faults.device import FaultyPmDevice
+from repro.faults.plan import LinkFaultSpec
+from repro.libpax.pool import PaxPool
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batch import GroupCommitBatcher
+from repro.serve.chaos import (
+    DEFAULT_STORM_LINK,
+    ChaosController,
+    build_timeline,
+)
+from repro.serve.clients import RetryPolicy, SimClient, build_client_script
+from repro.serve.slo import SloTracker
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+from repro.structures.hashmap import HashMap
+
+#: Small caches (the fuzzer's geometry): evictions and write-backs happen
+#: within a few dozen requests, so crash windows land on dirty state.
+POOL_SIZE = 2 * 1024 * 1024
+LOG_SIZE = 64 * 1024
+
+#: Base link-fault behaviour when a drill includes storms: near-clean.
+DEFAULT_BASE_LINK = LinkFaultSpec(drop_rate=0.0005, jitter=0.5)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One drill's knobs. Frozen: a config is a replayable artifact."""
+
+    clients: int = 4
+    ops_per_client: int = 200
+    record_count: int = 64
+    mix: str = "A"
+    seed: int = 1234
+    shards: int = 1
+    # Admission control.
+    queue_depth: int = 64
+    timeout_ns: float = 2_000_000.0
+    # Group commit.
+    batch_max: int = 16
+    batch_delay_ns: float = 150_000.0
+    # Client behaviour.
+    mean_gap_ns: float = 2_000.0
+    persist_every: int = 8
+    delete_fraction: float = 0.05
+    retry_base_ns: float = 50_000.0
+    retry_cap_ns: float = 5_000_000.0
+    retry_jitter: float = 0.5
+    max_attempts: int = 8
+    # Chaos.
+    crashes: int = 0
+    storms: int = 0
+    recovery_deadline_ns: float = None
+    read_only_after_retransmits: int = 8
+    base_link: LinkFaultSpec = None
+    storm_link: LinkFaultSpec = None
+    # §3.2 log-growth valve: commit early past this undo-log fullness.
+    log_valve_fraction: float = 0.85
+    sanitize: bool = False
+
+    def validate(self):
+        """Raise :class:`ConfigError` on nonsensical parameters."""
+        if self.clients < 1:
+            raise ConfigError("a drill needs at least one client")
+        if self.shards < 1:
+            raise ConfigError("a drill needs at least one shard")
+        if self.ops_per_client < 1 or self.record_count < 1:
+            raise ConfigError("ops_per_client and record_count must be >= 1")
+        if not 0.0 < self.log_valve_fraction <= 1.0:
+            raise ConfigError("log_valve_fraction must be in (0, 1]")
+        return self
+
+    def retry_policy(self):
+        """The client :class:`RetryPolicy` this config describes."""
+        return RetryPolicy(base_ns=self.retry_base_ns,
+                           cap_ns=self.retry_cap_ns,
+                           jitter=self.retry_jitter,
+                           max_attempts=self.max_attempts)
+
+
+class ShardState:
+    """One PAX pool plus its serving-side bookkeeping."""
+
+    def __init__(self, index, pool, clock, batch_max, batch_delay_ns):
+        self.index = index
+        self.pool = pool
+        self.structure = pool.persistent(HashMap)
+        #: Mirrors acknowledged state: ``snapshot`` is what recovery must
+        #: reproduce exactly (the zero-lost-acked-writes contract).
+        self.tracker = SnapshotTracker()
+        self.batcher = GroupCommitBatcher(pool, clock, batch_max=batch_max,
+                                          batch_delay_ns=batch_delay_ns)
+        self.sanitizer = None
+
+
+def _small_caches():
+    return dict(
+        l1_config=CacheConfig(size_bytes=4 * 1024, ways=4),
+        l2_config=CacheConfig(size_bytes=16 * 1024, ways=8),
+        llc_config=CacheConfig(size_bytes=64 * 1024, ways=8),
+    )
+
+
+class ServeHarness:
+    """Runs one configured drill to completion."""
+
+    def __init__(self, config, timeline=None, tracer=None):
+        self.config = config.validate()
+        self.clock = SimClock()
+        self.tracer = tracer
+        self.rng = DeterministicRng(config.seed).fork("serve")
+        self.slo = SloTracker()
+        self.queue = AdmissionQueue(max_depth=config.queue_depth,
+                                    timeout_ns=config.timeout_ns)
+        self.shards = [self._build_shard(index)
+                       for index in range(config.shards)]
+        self.clients = self._build_clients()
+        self._outstanding = [False] * config.clients
+        self.chaos = self._build_chaos(timeline)
+        self.registry = self._build_registry()
+        self.ticks = 0
+        self._seq = 0
+
+    # -- construction ------------------------------------------------------
+
+    def _build_shard(self, index):
+        config = self.config
+        device = FaultyPmDevice("pm%d" % index, POOL_SIZE)
+        link = config.base_link
+        if link is None and config.storms:
+            link = DEFAULT_BASE_LINK
+        if link is not None:
+            # Per-shard seed: shards must not replay identical drop
+            # sequences in lockstep.
+            link = replace(link, seed=link.seed + index * 1009)
+        pool = PaxPool.map_pool(pm_device=device, pool_size=POOL_SIZE,
+                                log_size=LOG_SIZE, clock=self.clock,
+                                link_faults=link, **_small_caches())
+        shard = ShardState(index, pool, self.clock,
+                           config.batch_max, config.batch_delay_ns)
+        if config.sanitize:
+            # Collect mode: a violation must not abort the drill —
+            # findings fail the verdict at the end instead.
+            from repro.sanitizer import PaxSanitizer
+            shard.sanitizer = PaxSanitizer(raise_on_violation=False)
+            shard.sanitizer.attach(pool.machine)
+        if self.tracer is not None:
+            # Same tee discipline as the crash fuzzer: the machine has
+            # one tracer slot, so sanitizer + observer share it. The
+            # attach() adopts the shared clock for event timestamps.
+            self.tracer.attach(pool.machine)
+            if shard.sanitizer is not None:
+                from repro.obs.tracer import TeeTracer
+                pool.machine.attach_tracer(
+                    TeeTracer([shard.sanitizer, self.tracer]))
+        return shard
+
+    def _build_clients(self):
+        config = self.config
+        policy = config.retry_policy()
+        clients = []
+        for client_id in range(config.clients):
+            script = build_client_script(
+                config.mix, config.record_count, config.ops_per_client,
+                seed=config.seed + client_id * 7919,
+                delete_fraction=config.delete_fraction,
+                persist_every=config.persist_every)
+            clients.append(SimClient(
+                client_id, script, self.rng.fork("client-%d" % client_id),
+                policy, mean_gap_ns=config.mean_gap_ns))
+        return clients
+
+    def _build_chaos(self, timeline):
+        config = self.config
+        if timeline is None:
+            if not config.crashes and not config.storms:
+                return None
+            total_ticks = sum(len(c.script) for c in self.clients)
+            timeline = build_timeline(
+                total_ticks, crashes=config.crashes, storms=config.storms,
+                rng=self.rng.fork("timeline"),
+                storm_link=config.storm_link or DEFAULT_STORM_LINK)
+        return ChaosController(
+            timeline, self.shards, self.rng.fork("chaos"), self.slo,
+            read_only_after_retransmits=config.read_only_after_retransmits)
+
+    def _build_registry(self):
+        """Only crash-durable StatGroups: ``restart()`` rebuilds the
+        hierarchy/device/link objects, so registering those would export
+        stale pre-crash groups after the first cycle."""
+        registry = MetricsRegistry(clock=self.clock, namespace="repro")
+        registry.register(self.slo.stats, component="serve")
+        for shard in self.shards:
+            label = str(shard.index)
+            registry.register(shard.pool.machine.stats,
+                              component="machine", shard=label)
+            registry.register(shard.pool.machine.pm.stats,
+                              component="pm", shard=label)
+        return registry
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self):
+        """Serve every client script to completion; returns a ServeReport."""
+        stalled = 0
+        while True:
+            self._admit(self.clock.now_ns)
+            request, error = self.queue.pop(self.clock.now_ns)
+            if request is not None:
+                self._serve(request, error)
+                stalled = 0
+                continue
+            if self._finished():
+                break
+            if self._idle():
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled > len(self.clients) + 8:
+                    raise ServeError(
+                        "harness stalled: queue empty but %d client(s) "
+                        "unfinished at %d sim-ns"
+                        % (sum(not c.done for c in self.clients),
+                           self.clock.now_ns))
+        return ServeReport(self)
+
+    def _finished(self):
+        if len(self.queue):
+            return False
+        if any(shard.batcher.waiting for shard in self.shards):
+            return False
+        return all(client.done for client in self.clients)
+
+    def _admit(self, now_ns):
+        for client in self.clients:
+            if self._outstanding[client.client_id] or not client.ready(now_ns):
+                continue
+            self._seq += 1
+            request = client.make_request(self._seq, now_ns)
+            verdict = self.queue.offer(request, now_ns)
+            if verdict is not None:
+                self.slo.rejected_overload.add(1)
+                self._fail(request, verdict)
+                continue
+            self.slo.admitted.add(1)
+            self._outstanding[client.client_id] = True
+
+    def _idle(self):
+        """No queued work: flush aged batches, else skip the clock ahead.
+
+        The skip target is the earliest of the next client arrival and
+        the next batch deadline — never early-flushing a batch, so a
+        lone persist always waits its full coalescing window.
+        """
+        now_ns = self.clock.now_ns
+        flushed = False
+        for shard in self.shards:
+            if shard.batcher.due(now_ns):
+                self._commit(shard)
+                flushed = True
+        if flushed:
+            return True
+        targets = [client.next_arrival_ns for client in self.clients
+                   if not client.done
+                   and not self._outstanding[client.client_id]]
+        for shard in self.shards:
+            deadline = shard.batcher.deadline_ns
+            if deadline is not None:
+                targets.append(deadline)
+        if not targets:
+            return False
+        target = min(targets)
+        if target <= now_ns:
+            return False
+        self.clock.advance(target - now_ns)
+        return True
+
+    def _serve(self, request, error):
+        self.ticks += 1
+        if self.chaos is not None:
+            forced = self.chaos.begin_tick(self.ticks)
+            if forced is not None:
+                self._chaos_crash(forced)
+        if error is not None:
+            self.slo.timeouts.add(1)
+            self._fail(request, error)
+            return
+        if request.failed:
+            # Crash-failed while queued (its client already notified by
+            # the replay path); nothing to serve.
+            return
+        if self.chaos is not None and self.chaos.read_only \
+                and request.kind != "get":
+            self.slo.read_only_rejects.add(1)
+            self._fail(request, ReadOnlyError(
+                "pool degraded to read-only (link storm); %s c%d#%d rejected"
+                % (request.kind, request.client_id, request.seq)))
+            return
+        self.slo.queue_depth.record(len(self.queue))
+        if request.kind == "persist":
+            # Group commit fans the durability barrier out to every shard.
+            for shard in self.shards:
+                shard.batcher.park(request)
+        else:
+            shard = self.shards[request.key % len(self.shards)]
+            try:
+                self._execute(shard, request)
+            except CrashSignal:
+                self._chaos_crash(self.chaos.armed_shard, inflight=request)
+                return
+            except LinkError:
+                self._fail_stop(shard, inflight=request)
+                return
+            self._complete(request)
+        for shard in self.shards:
+            if shard.batcher.due(self.clock.now_ns):
+                self._commit(shard)
+
+    def _execute(self, shard, request):
+        with shard.pool.operation():
+            if request.kind == "get":
+                shard.structure.get(request.key)
+            elif request.kind == "put":
+                shard.structure.put(request.key, request.value)
+            else:
+                shard.structure.remove(request.key)
+        # Mirror only after the op completed: a crash mid-op rolls the
+        # mutation back, and the mirror must roll back with it.
+        if request.kind == "put":
+            shard.tracker.put(request.key, request.value)
+        elif request.kind == "remove":
+            shard.tracker.remove(request.key)
+        if shard.pool.log_fullness >= self.config.log_valve_fraction:
+            self._commit(shard)
+
+    # -- group commit -------------------------------------------------------
+
+    def _commit(self, shard):
+        """One epoch commit on ``shard``; acks every batched persist."""
+        try:
+            waiters, _commit_ns = shard.batcher.flush()
+            if not waiters:
+                # Log-valve or all-failed-batch path: commit without acks.
+                shard.pool.persist()
+        except LinkError:
+            # The commit itself died on the fabric; the batch is still
+            # parked, so fail-stop recovery fails every waiter.
+            self._fail_stop(shard)
+            return
+        shard.tracker.persist()
+        self.slo.batches.add(1)
+        if waiters:
+            self.slo.batched_persists.add(len(waiters))
+            self.slo.batch_size.record(len(waiters))
+        for waiter in waiters:
+            if waiter.waiting_shards == 0 and not waiter.failed:
+                self._complete(waiter)
+
+    # -- completion/failure -------------------------------------------------
+
+    def _complete(self, request):
+        self._outstanding[request.client_id] = False
+        now_ns = self.clock.now_ns
+        self.slo.record_completion(request.kind,
+                                   now_ns - request.submitted_ns)
+        self.clients[request.client_id].on_success(now_ns)
+
+    def _fail(self, request, error):
+        self._outstanding[request.client_id] = False
+        retried = self.clients[request.client_id].on_failure(
+            error, self.clock.now_ns)
+        if retried:
+            self.slo.retries.add(1)
+        else:
+            self.slo.gave_up.add(1)
+
+    # -- crash/recover ------------------------------------------------------
+
+    def _chaos_crash(self, shard_index, inflight=None):
+        """A scheduled chaos crash: power cut + fault plan + recovery."""
+        self.chaos.crash_now(shard_index)
+        self._recover_shard(self.shards[shard_index], inflight)
+
+    def _fail_stop(self, shard, inflight=None):
+        """Link retransmit budget exhausted mid-op: treat as fail-stop.
+
+        The op may have half-applied before the link gave up; a clean
+        power-cycle rolls it back to the committed snapshot — the
+        principled recovery for a node whose fabric is gone.
+        """
+        shard.pool.crash()
+        self.slo.crashes.add(1)
+        self._recover_shard(shard, inflight)
+
+    def _recover_shard(self, shard, inflight):
+        config = self.config
+        # Fail every parked persist (their epoch never committed) and the
+        # interrupted request with a retryable typed error.
+        for waiter in shard.batcher.fail_all():
+            self.slo.crash_failures.add(1)
+            self._fail(waiter, ServeUnavailable(
+                "shard %d crashed before the batch committed; persist "
+                "c%d#%d not durable"
+                % (shard.index, waiter.client_id, waiter.seq)))
+        # Uncommitted mutations rolled back with the crash.
+        shard.tracker.pending.clear()
+        if inflight is not None:
+            self.slo.crash_failures.add(1)
+            self._fail(inflight, ServeUnavailable(
+                "shard %d crashed mid-%s; request c%d#%d not applied"
+                % (shard.index, inflight.kind, inflight.client_id,
+                   inflight.seq)))
+        queued = self.queue.drain()
+        deadline = config.recovery_deadline_ns
+        try:
+            report = shard.pool.restart(recovery_deadline_ns=deadline)
+        except RecoveryTimeout as exc:
+            # SLO blown, pool consistent: finish bring-up deadline-free.
+            report = exc.report
+            shard.pool.restart()
+        self.slo.record_recovery(report, deadline_ns=deadline)
+        shard.structure = shard.pool.reattach_root(HashMap)
+        self._verify_shard(shard)
+        if self.chaos is not None:
+            self.chaos.reapply_storm(shard.index)
+        # Replay the drained queue with fresh admission deadlines — the
+        # recovery pause must not time every queued request out.
+        now_ns = self.clock.now_ns
+        for request in queued:
+            if request.failed:
+                continue
+            self.slo.replayed.add(1)
+            self.queue.offer(request, now_ns)
+
+    def _verify_shard(self, shard):
+        """Zero-lost-acked-writes: recovered state == last committed."""
+        pairs = verify_map_integrity(shard.structure)
+        expected = shard.tracker.snapshot
+        if pairs != expected:
+            lost = sum(1 for key in set(pairs) | set(expected)
+                       if pairs.get(key) != expected.get(key))
+            self.slo.lost_acked_writes.add(lost)
+
+
+class ServeReport:
+    """The finished drill: verdicts, exports, and raw handles."""
+
+    def __init__(self, harness):
+        self.harness = harness
+        self.slo = harness.slo
+        self.registry = harness.registry
+        self.sim_ns = harness.clock.now_ns
+        self.ticks = harness.ticks
+
+    @property
+    def sanitizer_findings(self):
+        """Total PaxSan findings across shards (0 when not sanitizing)."""
+        return sum(len(shard.sanitizer.findings)
+                   for shard in self.harness.shards
+                   if shard.sanitizer is not None)
+
+    @property
+    def ok(self):
+        """The drill verdict: consistent, clean, and within budget."""
+        return (self.slo.lost_acked_writes.value == 0
+                and self.sanitizer_findings == 0
+                and self.slo.recovery_deadline_breaches.value == 0)
+
+    def to_prometheus(self):
+        """The drill's metric series in Prometheus text exposition."""
+        return self.registry.to_prometheus()
+
+    def summary(self):
+        """Human-readable drill summary (the CLI prints this)."""
+        lines = ["drill: %d requests served over %.0f sim-ns (%d clients, "
+                 "%d shard(s), seed %d)"
+                 % (self.ticks, self.sim_ns, self.harness.config.clients,
+                    len(self.harness.shards), self.harness.config.seed)]
+        lines.extend(self.slo.summary_lines())
+        if self.harness.config.sanitize:
+            lines.append("       sanitizer: %d finding(s)"
+                         % self.sanitizer_findings)
+        lines.append("       verdict: %s" % ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def run_drill(config, timeline=None):
+    """Build and run one drill; returns its :class:`ServeReport`."""
+    return ServeHarness(config, timeline=timeline).run()

@@ -1,0 +1,308 @@
+"""repro.serve units: admission control, group commit, retry policy,
+fault-window validation, jittered link backoff, and timed recovery."""
+
+import pytest
+
+from repro.cxl import LossyLink
+from repro.errors import (
+    FaultPlanError,
+    Overload,
+    RecoveryTimeout,
+    ServeError,
+    ServeTimeout,
+)
+from repro.faults import FaultTimeline, FaultWindow, LinkFaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    AdmissionQueue,
+    GroupCommitBatcher,
+    Request,
+    RetryPolicy,
+    SloTracker,
+    build_client_script,
+)
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+from repro.structures import HashMap
+from tests.conftest import make_pax_pool
+
+
+class TestAdmissionQueue:
+    def test_overload_is_a_returned_typed_verdict(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.offer(Request(0, 1, "get", key=1), 0.0) is None
+        assert queue.offer(Request(0, 2, "get", key=2), 0.0) is None
+        verdict = queue.offer(Request(0, 3, "get", key=3), 0.0)
+        assert isinstance(verdict, Overload)
+        assert len(queue) == 2
+
+    def test_stale_head_fails_with_serve_timeout(self):
+        queue = AdmissionQueue(max_depth=4, timeout_ns=1_000.0)
+        queue.offer(Request(0, 1, "get", key=1), 0.0)
+        queue.offer(Request(0, 2, "get", key=2), 1_500.0)
+        request, error = queue.pop(2_000.0)
+        assert request.seq == 1
+        assert isinstance(error, ServeTimeout)
+        # The fresher request behind it is still servable.
+        request, error = queue.pop(2_000.0)
+        assert request.seq == 2 and error is None
+        assert queue.pop(2_000.0) == (None, None)
+
+    def test_drain_empties_in_fifo_order(self):
+        queue = AdmissionQueue(max_depth=4)
+        for seq in range(3):
+            queue.offer(Request(0, seq, "get", key=seq), 0.0)
+        drained = queue.drain()
+        assert [r.seq for r in drained] == [0, 1, 2]
+        assert len(queue) == 0
+
+
+class TestGroupCommitBatcher:
+    def _batcher(self, **kwargs):
+        pool = make_pax_pool()
+        pool.persistent(HashMap)
+        return pool, GroupCommitBatcher(pool, pool.machine.clock, **kwargs)
+
+    def test_many_persists_one_epoch_commit(self):
+        pool, batcher = self._batcher(batch_max=8)
+        before = pool.committed_epoch
+        requests = [Request(i, i, "persist") for i in range(5)]
+        for request in requests:
+            batcher.park(request)
+        waiters, commit_ns = batcher.flush()
+        assert pool.committed_epoch == before + 1      # ONE epoch for all 5
+        assert len(waiters) == 5
+        assert commit_ns > 0
+        assert all(r.waiting_shards == 0 for r in requests)
+
+    def test_due_by_size_and_by_age(self):
+        pool, batcher = self._batcher(batch_max=2, batch_delay_ns=1_000.0)
+        clock = pool.machine.clock
+        batcher.park(Request(0, 1, "persist"))
+        assert not batcher.due(clock.now_ns)
+        assert batcher.deadline_ns == pytest.approx(clock.now_ns + 1_000.0)
+        clock.advance(1_000.0)
+        assert batcher.due(clock.now_ns)               # aged out
+        batcher.park(Request(1, 2, "persist"))
+        assert batcher.due(clock.now_ns)               # full
+        assert batcher.due(batcher.deadline_ns)        # boundary agreement
+
+    def test_fail_all_reports_each_waiter_once(self):
+        _pool, batcher = self._batcher()
+        fresh = Request(0, 1, "persist")
+        stale = Request(1, 2, "persist")
+        stale.failed = True                            # another shard's crash
+        batcher.park(fresh)
+        batcher.park(stale)
+        failed = batcher.fail_all()
+        assert failed == [fresh]
+        assert fresh.failed and fresh.waiting_shards == 0
+        # A flush after the crash commits nothing for the failed batch.
+        assert batcher.flush() == ([], 0.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_capped_and_jitter_bounded(self):
+        policy = RetryPolicy(base_ns=100.0, cap_ns=400.0, jitter=0.5)
+        rng = DeterministicRng(7)
+        for attempt, step in ((0, 100.0), (1, 200.0), (2, 400.0), (5, 400.0)):
+            backoff = policy.backoff_ns(attempt, rng)
+            assert step * 0.5 <= backoff <= step
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff_ns(i, DeterministicRng(3).fork("r"))
+             for i in range(4)]
+        b = [policy.backoff_ns(i, DeterministicRng(3).fork("r"))
+             for i in range(4)]
+        assert a == b
+
+    def test_retryable_errors_are_the_serve_family(self):
+        assert issubclass(Overload, ServeError)
+        assert issubclass(ServeTimeout, ServeError)
+
+
+class TestClientScripts:
+    def test_script_is_deterministic_and_ends_with_persist(self):
+        a = build_client_script("A", 32, 100, seed=5)
+        b = build_client_script("A", 32, 100, seed=5)
+        assert a == b
+        assert a[-1][0] == "persist"
+        kinds = {kind for kind, _key, _value in a}
+        assert kinds <= {"get", "put", "remove", "persist"}
+
+    def test_persist_cadence_follows_mutations(self):
+        script = build_client_script("W", 16, 40, seed=9, persist_every=4,
+                                     delete_fraction=0.0)
+        mutations = 0
+        for kind, _key, _value in script:
+            if kind == "put":
+                mutations += 1
+            elif kind == "persist" and mutations % 4 != 0:
+                # Only the final top-up persist may break the cadence.
+                assert script.index((kind, _key, _value)) >= len(script) - 1
+
+
+class TestFaultWindows:
+    def test_zero_width_window_rejected_at_build_time(self):
+        with pytest.raises(FaultPlanError):
+            FaultTimeline.build([FaultWindow("crash", 10, 10)])
+
+    def test_inverted_and_negative_windows_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultWindow("crash", 20, 10).validate()
+        with pytest.raises(FaultPlanError):
+            FaultWindow("crash", -1, 10).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultWindow("meteor", 0, 10).validate()
+
+    def test_link_storm_requires_a_spec(self):
+        with pytest.raises(FaultPlanError):
+            FaultWindow("link-storm", 0, 10).validate()
+
+    def test_same_kind_overlap_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultTimeline.build([FaultWindow("crash", 0, 10),
+                                 FaultWindow("crash", 5, 15)])
+
+    def test_different_kinds_may_overlap(self):
+        spec = LinkFaultSpec()
+        timeline = FaultTimeline.build([
+            FaultWindow("crash", 5, 15),
+            FaultWindow("link-storm", 0, 20, link=spec),
+        ])
+        assert timeline.active("crash", 5).kind == "crash"
+        assert timeline.active("crash", 15) is None    # half-open [start, end)
+        assert timeline.active("link-storm", 10).link is spec
+        assert len(timeline.of_kind("crash")) == 1
+
+
+class _StubLink:
+    name = "stub"
+    one_way_ns = 10.0
+
+    def send_h2d(self, _message):
+        return 10.0
+
+    def send_d2h(self, _message):
+        return 10.0
+
+
+class _AlwaysDrop:
+    def random(self):
+        return 0.0
+
+
+class _DropThenJitter:
+    """random() says "drop" for drop checks, 0.5 for jitter draws.
+
+    The lossy link draws drop-or-not first, then (if retransmitting and
+    jittered) one jitter fraction — so alternate the answers.
+    """
+
+    def __init__(self):
+        self._calls = 0
+
+    def random(self):
+        self._calls += 1
+        return 0.0 if self._calls % 2 else 0.5
+
+
+class TestLossyJitter:
+    def test_jitter_shaves_backoff_deterministically(self):
+        spec = LinkFaultSpec(drop_rate=0.5, timeout_ns=0.0,
+                             backoff_base_ns=100.0, backoff_cap_ns=1_000.0,
+                             max_retries=3, jitter=0.5)
+        from repro.errors import LinkError
+        link = LossyLink(_StubLink(), spec, rng=_DropThenJitter())
+        with pytest.raises(LinkError):
+            link.send_h2d("msg")
+        # Each backoff loses jitter * 0.5 of itself: 75 + 150 + 300.
+        assert link.stats.counter("backoff_ns").value == 75 + 150 + 300
+        assert link.stats.counter("retransmits").value == 3
+
+    def test_zero_jitter_keeps_the_pinned_schedule(self):
+        spec = LinkFaultSpec(drop_rate=0.5, timeout_ns=0.0,
+                             backoff_base_ns=100.0, backoff_cap_ns=250.0,
+                             max_retries=4)
+        from repro.errors import LinkError
+        link = LossyLink(_StubLink(), spec, rng=_AlwaysDrop())
+        with pytest.raises(LinkError):
+            link.send_h2d("msg")
+        assert link.stats.counter("backoff_ns").value == 100 + 200 + 250 + 250
+
+    def test_set_spec_swaps_and_returns_previous(self):
+        calm = LinkFaultSpec(drop_rate=0.0)
+        storm = LinkFaultSpec(drop_rate=0.5)
+        link = LossyLink(_StubLink(), calm, rng=DeterministicRng(1))
+        previous = link.set_spec(storm)
+        assert previous is calm
+        assert link.spec is storm
+        assert link.stats.counter("spec_swaps").value == 1
+        link.set_spec(previous)
+        assert link.spec is calm
+
+
+class TestTimedRecovery:
+    def _crashed_pool(self):
+        pool = make_pax_pool()
+        table = pool.persistent(HashMap)
+        for key in range(8):
+            table.put(key, key * 11)
+        pool.persist()
+        table.put(99, 99)
+        pool.crash()
+        return pool
+
+    def test_recovery_reports_and_charges_elapsed_sim_time(self):
+        pool = self._crashed_pool()
+        before = pool.machine.clock.now_ns
+        report = pool.restart()
+        assert report.records_scanned > 0
+        assert report.elapsed_ns > 0
+        # Recovery charges its elapsed time to the machine clock (the
+        # allocator reattach after it charges a little more on top).
+        assert pool.machine.clock.now_ns >= before + report.elapsed_ns
+
+    def test_deadline_breach_raises_after_pool_is_consistent(self):
+        pool = self._crashed_pool()
+        with pytest.raises(RecoveryTimeout) as excinfo:
+            pool.restart(recovery_deadline_ns=0.001)
+        report = excinfo.value.report
+        assert report is not None and report.elapsed_ns > 0.001
+        # The machine stayed down; a deadline-free retry finishes
+        # bring-up on the already-consistent pool.
+        assert pool.machine.crashed
+        retry_report = pool.restart()
+        assert retry_report.records_rolled_back == 0
+        table = pool.reattach_root(HashMap)
+        assert table.get(3) == 33 and table.get(99) is None
+
+    def test_generous_deadline_does_not_raise(self):
+        pool = self._crashed_pool()
+        report = pool.restart(recovery_deadline_ns=10**12)
+        assert report.elapsed_ns < 10**12
+
+
+class TestSloExport:
+    def test_tracker_percentiles_and_error_budget(self):
+        slo = SloTracker()
+        for latency in range(1, 101):
+            slo.admitted.add(1)
+            slo.record_completion("get", float(latency))
+        slo.gave_up.add(1)
+        p50, p99, p999 = slo.latency_percentiles()
+        assert p50 <= p99 <= p999 <= 100.0
+        assert slo.error_budget_spent == pytest.approx(0.01)
+
+    def test_prometheus_export_includes_p999(self):
+        slo = SloTracker()
+        slo.record_completion("put", 123.0)
+        registry = MetricsRegistry(clock=SimClock(), namespace="repro")
+        registry.register(slo.stats, component="serve")
+        text = registry.to_prometheus()
+        assert 'quantile="0.999"' in text
+        assert "repro_serve_request_ns_count" in text
+        assert "repro_serve_put_ns" in text
