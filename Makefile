@@ -41,9 +41,11 @@ endif
 
 fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 500 --seed 1234 $(FUZZ_FLAGS)
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --target autopass --sanitize --iterations 500 --seed 1234 --progress 0
 
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --iterations 50 --seed 7 --progress 0 $(FUZZ_FLAGS)
+	PYTHONPATH=src $(PYTHON) -m repro.crashtest.fuzz --target autopass --sanitize --iterations 50 --seed 7 --progress 0
 
 # Wall-clock performance of the simulator itself (not simulated time);
 # see docs/performance.md. `perfbench` regenerates the committed

@@ -3,19 +3,21 @@
 Measures single-thread per-op latency and media traffic in full
 simulation, then applies the roofline thread-scaling model
 (DESIGN.md §5 documents this substitution). Prints the three paper curves
-(DRAM / PM Direct / PMDK) plus PAX as the paper's predicted fourth curve,
-and checks:
+(DRAM / PM Direct / PMDK) plus PAX as the paper's predicted fourth curve
+and ``autopass`` (the staticcheck-generated gate placement), and checks:
 
 * the ordering DRAM > PM Direct > PMDK at every thread count;
 * claim-pmdk-2x — PM Direct ends roughly 2x above PMDK at 32 threads;
-* the paper's optimism: PAX lands above PMDK (asynchronous logging).
+* the paper's optimism: PAX lands above PMDK (asynchronous logging);
+* auto-placed gates cost no more than hand-written ones: the autopass
+  curve tracks PMDK to within a small tolerance.
 """
 
 from benchmarks.conftest import OPS, RECORDS, bench_backend
 from repro.analysis.report import Table
 from repro.analysis.throughput import FIG2B_THREADS, figure_2b
 
-BACKENDS = ("dram", "pm_direct", "pmdk", "pax")
+BACKENDS = ("dram", "pm_direct", "pmdk", "autopass", "pax")
 
 
 def run_fig2b():
@@ -50,3 +52,9 @@ def test_fig2b_throughput(benchmark):
     assert 1.2 < ratio < 3.5
     # The paper's §5 prediction: PAX beats hand-crafted PMDK.
     assert figure.at("pax", 32) > figure.at("pmdk", 32)
+    # Auto-placed gates match hand-written placement: same WAL scheme,
+    # same commit batching, so the curves coincide within 10%.
+    for threads in FIG2B_THREADS:
+        hand = figure.at("pmdk", threads)
+        auto = figure.at("autopass", threads)
+        assert abs(auto - hand) <= 0.10 * hand

@@ -1,5 +1,6 @@
 """Every system under comparison, behind one key-value interface."""
 
+from repro.baselines.autopass import AutopassBackend
 from repro.baselines.base import KvBackend, StructureBackend
 from repro.baselines.compiler_pass import CompilerPassBackend
 from repro.baselines.dram import DramBackend
@@ -11,6 +12,7 @@ from repro.baselines.pmdk import PmdkBackend
 from repro.baselines.redo import RedoBackend
 
 __all__ = [
+    "AutopassBackend",
     "CompilerPassBackend",
     "DramBackend",
     "HybridBackend",

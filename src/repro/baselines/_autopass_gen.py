@@ -1,0 +1,246 @@
+# AUTO-GENERATED -- do not edit by hand.
+# Source: src/repro/structures/hashmap.py, instrumented by the
+# staticcheck persist-order auto-fix pass:
+#   python -m repro.staticcheck.autogen --write
+# Every begin()/end() pair below was placed by the fixer
+# (docs/analysis-tools.md, "Auto-fix"); CI checks this file is
+# byte-identical to a fresh regeneration.
+"""A chained hash map over a memory accessor — the paper's hash table.
+
+This is the reproduction's analog of ``std::unordered_map`` /
+``tbb::concurrent_hash_map`` with a custom allocator: plain *volatile*
+data-structure code, written with no knowledge of persistence. The same
+class runs over DRAM, PM-direct, PMDK-transactional, page-fault-tracked,
+and vPM-via-PAX accessors; only the accessor differs. Keys and values are
+u64 (the paper's benchmark uses 8 B keys and values).
+
+On-memory layout (structure-space offsets, all fields u64)::
+
+    header:  magic | capacity | count | buckets_ptr | seed
+    buckets: capacity contiguous head pointers
+    node:    key | value | next
+
+The map resizes (doubling, full rehash by relinking) when the load factor
+exceeds 2. Resize is deliberately a long multi-store operation — it is
+precisely the kind of interrupted operation crash-consistency schemes
+must cope with, and the crash tests cut it in half on purpose.
+"""
+
+from repro.errors import ReproError
+from repro.mem.layout import StructLayout
+from repro.util.constants import NULL_ADDR, WORD_SIZE
+
+MAP_MAGIC = 0x5041584D41503031     # "PAXMAP01"
+
+_HEADER = StructLayout("hashmap_header", [
+    ("magic", "u64"),
+    ("capacity", "u64"),
+    ("count", "u64"),
+    ("buckets", "u64"),
+    ("seed", "u64"),
+])
+
+_NODE = StructLayout("hashmap_node", [
+    ("key", "u64"),
+    ("value", "u64"),
+    ("next", "u64"),
+])
+
+#: Grow when count exceeds capacity * MAX_LOAD.
+MAX_LOAD = 2
+
+# Field offsets hoisted from the layouts: put/get/remove issue their
+# simulated loads and stores at these addresses directly rather than
+# building a StructView per node visit — same accesses, no per-visit
+# allocation or field-name lookup.
+_HDR_CAPACITY = _HEADER.fields["capacity"].offset
+_HDR_COUNT = _HEADER.fields["count"].offset
+_HDR_BUCKETS = _HEADER.fields["buckets"].offset
+_HDR_SEED = _HEADER.fields["seed"].offset
+_NODE_KEY = _NODE.fields["key"].offset
+_NODE_VALUE = _NODE.fields["value"].offset
+_NODE_NEXT = _NODE.fields["next"].offset
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(key, seed):
+    """splitmix64 finalizer — cheap, well-distributed u64 hash."""
+    h = (key + seed + 0x9E3779B97F4A7C15) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return h ^ (h >> 31)
+
+
+class HashMap:
+    """u64 -> u64 chained hash map."""
+
+    def __init__(self, mem, allocator, root):
+        self._mem = mem
+        self._alloc = allocator
+        self.root = root
+        self._hdr = _HEADER.view(mem, root)
+        # Bound word accessors for the hot operations (the accessor's
+        # identity is fixed for this instance's life; restart paths build
+        # a fresh HashMap).
+        self._read_u64 = mem.read_u64
+        self._write_u64 = mem.write_u64
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, mem, allocator, capacity=1024, seed=0x5157):
+        """Allocate and initialize an empty map; returns the instance."""
+        if capacity < 1 or capacity & (capacity - 1):
+            raise ReproError("capacity must be a power of two")
+        root = allocator.alloc(_HEADER.size)
+        buckets = allocator.alloc(capacity * WORD_SIZE)
+        mem.begin()
+        mem.memset(buckets, capacity * WORD_SIZE, 0)
+        hdr = _HEADER.view(mem, root)
+        hdr.set("capacity", capacity)
+        hdr.set("count", 0)
+        hdr.set("buckets", buckets)
+        hdr.set("seed", seed)
+        hdr.set("magic", MAP_MAGIC)
+        mem.end()
+        return cls(mem, allocator, root)
+
+    @classmethod
+    def attach(cls, mem, allocator, root):
+        """Bind to an existing map at ``root``."""
+        instance = cls(mem, allocator, root)
+        if instance._hdr.get("magic") != MAP_MAGIC:
+            raise ReproError("no hash map at offset 0x%x" % root)
+        return instance
+
+    # -- core operations --------------------------------------------------------
+
+    def _bucket_addr(self, key, capacity=None, buckets=None):
+        read = self._read_u64
+        root = self.root
+        if capacity is None:
+            capacity = read(root + _HDR_CAPACITY)
+        if buckets is None:
+            buckets = read(root + _HDR_BUCKETS)
+        index = _mix(key, read(root + _HDR_SEED)) & (capacity - 1)
+        return buckets + index * WORD_SIZE
+
+    def put(self, key, value):
+        """Insert or update; returns True if a new key was inserted."""
+        read = self._read_u64
+        write = self._write_u64
+        bucket = self._bucket_addr(key)
+        node = read(bucket)
+        self._mem.begin()
+        while node != NULL_ADDR:
+            if read(node + _NODE_KEY) == key:
+                write(node + _NODE_VALUE, value)
+                self._mem.end()
+                return False
+            node = read(node + _NODE_NEXT)
+        head = read(bucket)
+        node = self._alloc.alloc(_NODE.size)
+        write(node + _NODE_KEY, key)
+        write(node + _NODE_VALUE, value)
+        write(node + _NODE_NEXT, head)
+        write(bucket, node)
+        root = self.root
+        count = read(root + _HDR_COUNT) + 1
+        write(root + _HDR_COUNT, count)
+        self._mem.end()
+        if count > read(root + _HDR_CAPACITY) * MAX_LOAD:
+            self._grow()
+        return True
+
+    def get(self, key, default=None):
+        """Return the value for ``key`` (or ``default``)."""
+        read = self._read_u64
+        node = read(self._bucket_addr(key))
+        while node != NULL_ADDR:
+            if read(node + _NODE_KEY) == key:
+                return read(node + _NODE_VALUE)
+            node = read(node + _NODE_NEXT)
+        return default
+
+    def remove(self, key):
+        """Delete ``key``; returns True if it was present."""
+        read = self._read_u64
+        write = self._write_u64
+        bucket = self._bucket_addr(key)
+        prev_link = bucket
+        node = read(bucket)
+        while node != NULL_ADDR:
+            if read(node + _NODE_KEY) == key:
+                self._mem.begin()
+                write(prev_link, read(node + _NODE_NEXT))
+                self._alloc.free(node, _NODE.size)
+                root = self.root
+                write(root + _HDR_COUNT, read(root + _HDR_COUNT) - 1)
+                self._mem.end()
+                return True
+            prev_link = node + _NODE_NEXT
+            node = read(node + _NODE_NEXT)
+        return False
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return self._hdr.get("count")
+
+    # -- resize -------------------------------------------------------------------
+
+    def _grow(self):
+        """Double the bucket array and relink every node."""
+        old_capacity = self._hdr.get("capacity")
+        old_buckets = self._hdr.get("buckets")
+        new_capacity = old_capacity * 2
+        new_buckets = self._alloc.alloc(new_capacity * WORD_SIZE)
+        self._mem.begin()
+        self._mem.memset(new_buckets, new_capacity * WORD_SIZE, 0)
+        for index in range(old_capacity):
+            node = self._mem.read_u64(old_buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                next_node = view.get("next")
+                target = self._bucket_addr(view.get("key"),
+                                           capacity=new_capacity,
+                                           buckets=new_buckets)
+                view.set("next", self._mem.read_u64(target))
+                self._mem.write_u64(target, node)
+                node = next_node
+        self._hdr.set("buckets", new_buckets)
+        self._hdr.set("capacity", new_capacity)
+        self._mem.end()
+        self._alloc.free(old_buckets, old_capacity * WORD_SIZE)
+
+    # -- iteration ------------------------------------------------------------------
+
+    def items(self):
+        """Yield ``(key, value)`` pairs (no particular order)."""
+        capacity = self._hdr.get("capacity")
+        buckets = self._hdr.get("buckets")
+        for index in range(capacity):
+            node = self._mem.read_u64(buckets + index * WORD_SIZE)
+            while node != NULL_ADDR:
+                view = _NODE.view(self._mem, node)
+                yield view.get("key"), view.get("value")
+                node = view.get("next")
+
+    def keys(self):
+        """Yield all keys."""
+        for key, _value in self.items():
+            yield key
+
+    def to_dict(self):
+        """Materialize as a Python dict (verification helper)."""
+        return dict(self.items())
+
+    @property
+    def capacity(self):
+        """Current bucket count."""
+        return self._hdr.get("capacity")
+
+    def __repr__(self):
+        return "HashMap(root=0x%x, len=%d)" % (self.root, len(self))

@@ -116,6 +116,10 @@ class StructureBackend(KvBackend):
     def __len__(self):
         return len(self._map)
 
+    def items(self):
+        """Yield ``(key, value)`` pairs (verification/integrity checks)."""
+        return self._map.items()
+
     def to_dict(self):
         return self._map.to_dict()
 

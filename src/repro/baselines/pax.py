@@ -55,6 +55,7 @@ class PaxBackend(StructureBackend):
 
 def make_backend(name, **kwargs):
     """Factory over every backend by short name."""
+    from repro.baselines.autopass import AutopassBackend
     from repro.baselines.compiler_pass import CompilerPassBackend
     from repro.baselines.dram import DramBackend
     from repro.baselines.hybrid import HybridBackend
@@ -68,6 +69,7 @@ def make_backend(name, **kwargs):
         "pmdk": PmdkBackend,
         "redo": RedoBackend,
         "compiler": CompilerPassBackend,
+        "autopass": AutopassBackend,
         "mprotect": MprotectBackend,
         "pax": PaxBackend,
         "hybrid": HybridBackend,

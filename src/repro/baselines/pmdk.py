@@ -115,6 +115,7 @@ class PmdkBackend(StructureBackend):
         self._tx = UndoTxAccessor(self._machine.mem(), self._wal,
                                   self._machine.space)
         self._next_tx = self._cells.committed_tx + 1
+        self._gate_commits = 0
         self._capacity = capacity
         if self._cells.root == 0:
             self._alloc = PmAllocator.create(self._tx, self._layout.arena_limit)
@@ -156,6 +157,7 @@ class PmdkBackend(StructureBackend):
         self._flush.sfence()
         self._next_tx += 1
         self._wal.reset()
+        self._gate_commits += 1
 
     def _run_tx(self, operation):
         self._tx.begin(self._next_tx)
@@ -198,6 +200,12 @@ class PmdkBackend(StructureBackend):
         self._alloc = PmAllocator.attach(self._tx)
         self._reattach_structure(self._tx, self._alloc, self._cells.root)
         return len(to_undo)
+
+    @property
+    def gate_count(self):
+        """Committed transactions (hand-written-gate accounting; the
+        autopass backend reports the same counter for auto-placed gates)."""
+        return self._gate_commits
 
     @property
     def sfence_count(self):

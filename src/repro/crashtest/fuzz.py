@@ -23,16 +23,32 @@ specified.) Everything else — a content mismatch, an untyped exception,
 a ``struct.error`` escaping the recovery path — is a failure, recorded
 with the iteration's seed and plan so it replays exactly.
 
+A second target (``--target autopass``) fuzzes a WAL *backend* instead
+of the PAX pool: the auto-instrumented ``autopass`` backend runs a
+random put/remove workload mirrored into a plain dict, is cut by a
+:class:`~repro.crashtest.injector.CrashInjector` at a random store
+count (including mid-``put``, mid-``remove``, and mid-resize), and must
+recover to the completed-op state plus at most an atomic prefix of the
+in-flight operation (:func:`~repro.crashtest.checker.
+check_prefix_atomic`). Under ``--sanitize`` that target runs with
+WalSan attached, so a missing-undo or fence-inversion during the
+workload is a failure even if recovery happens to get lucky.
+
 Run from the command line::
 
     python -m repro.crashtest.fuzz --iterations 500 --seed 1234
+    python -m repro.crashtest.fuzz --target autopass --sanitize
 """
 
 import argparse
 import sys
 
 from repro.cache.cache import CacheConfig
-from repro.crashtest.checker import SnapshotTracker, verify_map_integrity
+from repro.crashtest.checker import (
+    SnapshotTracker,
+    check_prefix_atomic,
+    verify_map_integrity,
+)
 from repro.errors import LinkError, RecoveryError, ReproError, SanitizerError
 from repro.faults.device import FaultyPmDevice
 from repro.faults.injector import FaultInjector
@@ -53,6 +69,12 @@ POOL_SIZE = 2 * 1024 * 1024
 LOG_SIZE = 64 * 1024
 KEY_SPACE = 16
 MAX_STORES_UNTIL_CRASH = 300
+
+#: Backend targets ``--target`` accepts besides the default PAX pool.
+#: Tiny capacity so the workload's key space forces a mid-run resize.
+BACKEND_TARGETS = ("autopass",)
+BACKEND_WAL_SIZE = 128 * 1024
+BACKEND_CAPACITY = 4
 
 
 def _small_caches():
@@ -207,27 +229,131 @@ def run_iteration(seed, allow_link=True, sanitize=False, tracer=None):
     return "exact", crashed
 
 
+class _BackendPlan:
+    """Stand-in for :class:`FaultPlan` in backend-target records.
+
+    Backend mode injects only crash points (no device fault plans), but
+    :class:`FuzzStats` failure entries carry a ``describe()``-able plan
+    for replay lines; this keeps the summary format uniform.
+    """
+
+    torn_write = None
+    bitflips = ()
+    link = None
+
+    def __init__(self, name):
+        self._name = name
+
+    def describe(self):
+        return "backend=%s crash-point-only" % self._name
+
+
+def run_backend_iteration(seed, backend_name="autopass", sanitize=False):
+    """One backend-mode fuzz iteration (``--target autopass``).
+
+    Builds the named per-op-durable WAL backend on a small PM heap
+    (capacity 4, so the 16-key workload forces at least one resize),
+    runs a random put/remove workload mirrored into a plain dict, cuts
+    it at a random CPU-store count, recovers, and checks per-op
+    durability: the recovered contents must equal the completed-op
+    state plus at most an atomic prefix of the in-flight operation.
+    With ``sanitize``, WalSan shadows the run and any persist-order
+    violation is a failure. Returns ``(outcome, crashed_in_flight)``
+    like :func:`run_iteration`.
+    """
+    from repro.baselines.pax import make_backend
+    from repro.crashtest.injector import CrashInjector
+    from repro.sanitizer import WalSanitizer
+
+    rng = DeterministicRng(seed)
+    backend = make_backend(backend_name, heap_size=POOL_SIZE,
+                           wal_size=BACKEND_WAL_SIZE,
+                           capacity=BACKEND_CAPACITY, **_small_caches())
+    if sanitize:
+        WalSanitizer().attach(backend)
+    state = backend.to_dict()
+    inflight = []
+
+    injector = CrashInjector(backend.machine)
+    injector.arm(rng.randint(1, MAX_STORES_UNTIL_CRASH))
+    op_rng = rng.fork("ops")
+
+    def workload():
+        for _ in range(op_rng.randint(10, 60)):
+            roll = op_rng.random()
+            key = op_rng.randint(0, KEY_SPACE - 1)
+            # The mirror updates only after the backend op returns, so a
+            # crash mid-op leaves ``state`` at the completed prefix and
+            # ``inflight`` naming the cut operation.
+            if roll < 0.65:
+                value = op_rng.randint(0, 2**32)
+                inflight.append(("put", key, value))
+                backend.put(key, value)
+                state[key] = value
+            else:
+                inflight.append(("remove", key, None))
+                backend.remove(key)
+                state.pop(key, None)
+            del inflight[:]
+
+    try:
+        crashed = injector.run(workload)
+    except SanitizerError as exc:
+        raise FuzzFailure("sanitizer violation during workload: %s" % exc)
+    if not crashed:
+        # The workload outran the crash point; cut the power now so
+        # every iteration exercises recovery.
+        backend.crash()
+
+    try:
+        backend.restart()
+        recovered = verify_map_integrity(backend)
+        check_prefix_atomic(recovered, inflight, base_state=state)
+        # Liveness: the recovered backend must still take writes.
+        backend.put(0, 0xC0FFEE)
+        if backend.get(0) != 0xC0FFEE:
+            raise ReproError("post-recovery put() not visible")
+    except ReproError as exc:
+        raise FuzzFailure("post-recovery check failed: %s" % exc)
+    except Exception as exc:   # struct.error etc. — the bugs fuzzing hunts
+        raise FuzzFailure("unhandled %s escaped recovery: %s"
+                          % (type(exc).__name__, exc))
+    return "exact", crashed
+
+
 def run_fuzz(iterations=500, seed=1234, allow_link=True, progress=None,
-             sanitize=False, tracer=None):
+             sanitize=False, tracer=None, target="pool"):
     """Run ``iterations`` seeded iterations; returns a :class:`FuzzStats`.
 
     One ``tracer`` spans the whole sweep — each iteration re-attaches it
     to that iteration's fresh machine, so the ring ends up holding the
     (newest) events across iterations, delimited by ``fuzz-iteration``
-    instants.
+    instants. ``target`` selects what gets fuzzed: ``"pool"`` (the PAX
+    pool, default) or a backend name from :data:`BACKEND_TARGETS`.
     """
+    if target != "pool" and target not in BACKEND_TARGETS:
+        raise ReproError("unknown fuzz target %r (have pool, %s)"
+                         % (target, ", ".join(BACKEND_TARGETS)))
     stats = FuzzStats()
     master = DeterministicRng(seed)
     for iteration in range(iterations):
         iter_seed = master.randint(0, 2**62)
-        plan_preview = FaultPlan.random(
-            DeterministicRng(iter_seed).fork("plan"), allow_link=allow_link)
-        stats.record_plan(plan_preview)
+        if target == "pool":
+            plan_preview = FaultPlan.random(
+                DeterministicRng(iter_seed).fork("plan"),
+                allow_link=allow_link)
+            stats.record_plan(plan_preview)
+        else:
+            plan_preview = _BackendPlan(target)
         try:
-            outcome, in_flight = run_iteration(iter_seed,
-                                               allow_link=allow_link,
-                                               sanitize=sanitize,
-                                               tracer=tracer)
+            if target == "pool":
+                outcome, in_flight = run_iteration(iter_seed,
+                                                   allow_link=allow_link,
+                                                   sanitize=sanitize,
+                                                   tracer=tracer)
+            else:
+                outcome, in_flight = run_backend_iteration(
+                    iter_seed, backend_name=target, sanitize=sanitize)
             stats.outcomes[outcome] += 1
             stats.crashed_in_flight += in_flight
         except FuzzFailure as exc:
@@ -255,12 +381,20 @@ def main(argv=None):
                         help="print a progress line every N iterations "
                              "(0 = quiet)")
     parser.add_argument("--sanitize", action="store_true",
-                        help="attach PaxSan to every iteration; a "
-                             "persist-order violation fails the run")
+                        help="attach PaxSan (pool) / WalSan (backend "
+                             "targets) to every iteration; a persist-"
+                             "order violation fails the run")
+    parser.add_argument("--target", choices=("pool",) + BACKEND_TARGETS,
+                        default="pool",
+                        help="what to fuzz: the PAX pool (default) or a "
+                             "per-op-durable backend by name")
     parser.add_argument("--trace", metavar="PATH",
                         help="trace every iteration into one repro.obs "
-                             "ring and write it as a JSONL trace")
+                             "ring and write it as a JSONL trace "
+                             "(pool target only)")
     args = parser.parse_args(argv)
+    if args.trace and args.target != "pool":
+        parser.error("--trace only supports --target pool")
     tracer = None
     if args.trace:
         from repro.obs import ObsTracer
@@ -268,7 +402,8 @@ def main(argv=None):
     stats = run_fuzz(iterations=args.iterations, seed=args.seed,
                      allow_link=not args.no_link_faults,
                      progress=args.progress or None,
-                     sanitize=args.sanitize, tracer=tracer)
+                     sanitize=args.sanitize, tracer=tracer,
+                     target=args.target)
     if tracer is not None:
         from repro.obs.export import write_jsonl
         write_jsonl(tracer.events(), args.trace)

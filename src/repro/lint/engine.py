@@ -202,6 +202,71 @@ def findings_to_json(findings):
         indent=2)
 
 
+#: SARIF version emitted by ``--format sarif`` (shared by repro.lint
+#: and repro.staticcheck); the minimal subset GitHub code scanning
+#: ingests for inline annotations.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def findings_to_sarif(findings, tool_name, rules=None):
+    """Serialize findings as a SARIF 2.1.0 log (one run).
+
+    ``rules`` maps rule ids to one-line summaries for the tool's rule
+    catalogue; ids seen only in findings are added with no summary.
+    Columns are 0-based internally but SARIF is 1-based, hence the +1.
+    """
+    catalogue = dict(rules or {})
+    for finding in findings:
+        catalogue.setdefault(finding.rule_id, "")
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace(os.sep, "/"),
+                    },
+                    "region": {
+                        "startLine": finding.lineno,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "rules": [
+                    {"id": rule_id,
+                     "shortDescription": {"text": summary or rule_id}}
+                    for rule_id, summary in sorted(catalogue.items())
+                ],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2)
+
+
+def render_findings(findings, fmt, tool_name, rules=None):
+    """One findings payload in ``fmt``: "text", "json", or "sarif"."""
+    if fmt == "json":
+        return findings_to_json(findings)
+    if fmt == "sarif":
+        return findings_to_sarif(findings, tool_name, rules=rules)
+    if fmt != "text":
+        raise LintError("unknown output format %r" % (fmt,))
+    return "\n".join(finding.render() for finding in findings)
+
+
 def lint_source(path, source, selected=None):
     """Lint one source string; returns a list of :class:`LintFinding`.
 
@@ -281,22 +346,27 @@ def main(argv=None):
                         help="print the rule catalogue and exit")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a schema-tagged JSON object "
-                             "on stdout")
+                             "on stdout (same as --format json)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None,
+                        help="output format (default text; sarif suits "
+                             "CI annotation upload)")
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule_id, rule_obj in sorted(all_rules().items()):
             print("%-18s %s" % (rule_id, rule_obj.summary))
         return 0
+    fmt = args.format or ("json" if args.json else "text")
     try:
         findings = run_paths(args.paths or ["src"], selected=args.select)
     except LintError as exc:
         print("lint: error: %s" % exc, file=sys.stderr)
         return 2
-    if args.json:
-        print(findings_to_json(findings))
-    else:
-        for finding in findings:
-            print(finding.render())
+    rendered = render_findings(
+        findings, fmt, "repro.lint",
+        rules={rid: r.summary for rid, r in all_rules().items()})
+    if rendered or fmt != "text":
+        print(rendered)
     if findings:
         print("lint: %d finding(s)" % len(findings), file=sys.stderr)
         return 1

@@ -38,8 +38,15 @@ SCHEMA = "repro.perfbench/1"
 #: Workloads in the default matrix.
 WORKLOADS = ("store_heavy", "load_heavy", "mixed")
 
-#: Backends in the default matrix (the paper's headline comparison set).
-BACKENDS = ("dram", "pm_direct", "pmdk", "pax")
+#: Backends in the default matrix (the paper's headline comparison set,
+#: plus the instrumentation spectrum: hand-written gates ``pmdk``,
+#: per-store compiler gates ``compiler``, auto-placed gates ``autopass``).
+BACKENDS = ("dram", "pm_direct", "pmdk", "compiler", "autopass", "pax")
+
+#: Per-cell accounting pulled off backends that expose it: gate commits,
+#: ordering stalls, undo-log bytes. How hand-written vs compiler vs
+#: auto-placed gate placement differ shows up in these columns.
+CELL_COUNTERS = ("gate_count", "sfence_count", "wal_bytes")
 
 #: Default operation counts: sized so a full matrix finishes in about a
 #: minute on a laptop while still spending >90% of its time in the
@@ -150,6 +157,12 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer):
         "ops_per_sec": round(ops / best_wall, 1) if best_wall > 0 else 0.0,
         "sim_ns": sim_ns,
     }
+    for counter in CELL_COUNTERS:
+        value = getattr(backend, counter, None)
+        # bool is an int subclass; exclude it so a stray flag attribute
+        # never masquerades as a counter.
+        if isinstance(value, int) and not isinstance(value, bool):
+            cell[counter] = value
     return cell, backend
 
 

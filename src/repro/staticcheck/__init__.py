@@ -18,11 +18,20 @@
     ``repro.mem.accessor`` wrapper (alias-aware, unlike the syntactic
     ``pm-direct-write`` lint rule).
 
+``persist-order`` findings can be *repaired*, not just reported:
+``--fix`` / ``--fix-diff`` run the gate-placement pass
+(:mod:`repro.staticcheck.placement` + :mod:`repro.staticcheck.fixer`)
+that inserts ``begin``/``end``, ``with transaction:``, or
+``wal.append`` gates as token-preserving line edits, idempotently.
+The same pass generates the ``autopass`` baseline backend (see
+``repro.staticcheck.autogen``).
+
 Accepted legacy findings live in ``staticcheck-baseline.txt`` with a
-justification each; CI fails only on findings beyond the baseline. The
-suppression syntax (``# lint: ignore[checker-id]``), exit codes
-(0 clean / 1 findings / 2 usage error), and ``--json`` output match
-``repro.lint`` — one mental model for both tools.
+justification each; CI fails only on findings beyond the baseline (and
+on *dead* entries whose finding no longer exists). The suppression
+syntax (``# lint: ignore[checker-id]``), exit codes (0 clean /
+1 findings / 2 usage error), and ``--json`` / ``--format sarif``
+output match ``repro.lint`` — one mental model for both tools.
 """
 
 from repro.staticcheck.engine import (
@@ -32,6 +41,7 @@ from repro.staticcheck.engine import (
     checker,
     main,
     run_paths,
+    run_paths_details,
 )
 from repro.staticcheck.baseline import Baseline, path_key, write_baseline
 from repro.staticcheck.cfg import CFG, build_cfg
@@ -41,6 +51,7 @@ from repro.staticcheck.dataflow import (
     SetIntersectAnalysis,
     SetUnionAnalysis,
     dominators,
+    postdominators,
 )
 from repro.staticcheck.callgraph import ProjectIndex, module_key
 from repro.staticcheck import checkers as _checkers  # noqa: F401
@@ -59,9 +70,20 @@ __all__ = [
     "check_source",
     "checker",
     "dominators",
+    "fix_source",
     "main",
     "module_key",
     "path_key",
+    "postdominators",
     "run_paths",
+    "run_paths_details",
     "write_baseline",
 ]
+
+
+def fix_source(path, source, style="auto"):
+    """Auto-insert persist gates; see :func:`repro.staticcheck.fixer.
+    fix_source`. Imported lazily to keep the checker import graph
+    acyclic."""
+    from repro.staticcheck.fixer import fix_source as _fix_source
+    return _fix_source(path, source, style=style)

@@ -1,0 +1,112 @@
+"""Generate the ``autopass`` backend's auto-instrumented structure code.
+
+``python -m repro.staticcheck.autogen --write`` reads the volatile hash
+table (:mod:`repro.structures.hashmap`), runs the persist-order auto-fix
+pass over it (style ``tx``: every uncovered accessor-store region gets
+``begin()``/``end()`` gates), and writes the result to
+``repro/baselines/_autopass_gen.py`` under a do-not-edit banner. The
+:class:`~repro.baselines.autopass.AutopassBackend` binds that generated
+module to an undo-logging accessor, turning the volatile structure into
+a crash-consistent backend with zero hand-written gate sites.
+
+``--check`` (the default; CI runs it) regenerates in memory and fails
+if the committed file drifted from the generator output, so the
+committed artifact is provably the fixer's work and not a hand edit.
+"""
+
+import argparse
+import difflib
+import os
+import sys
+
+from repro.errors import LintError
+from repro.staticcheck.fixer import fix_source
+
+GENERATED_NAME = "_autopass_gen.py"
+
+_BANNER = [
+    "# AUTO-GENERATED -- do not edit by hand.",
+    "# Source: src/repro/structures/hashmap.py, instrumented by the",
+    "# staticcheck persist-order auto-fix pass:",
+    "#   python -m repro.staticcheck.autogen --write",
+    "# Every begin()/end() pair below was placed by the fixer",
+    "# (docs/analysis-tools.md, \"Auto-fix\"); CI checks this file is",
+    "# byte-identical to a fresh regeneration.",
+]
+
+
+def source_path():
+    """The volatile structure source the generator instruments."""
+    import repro.structures.hashmap
+    return repro.structures.hashmap.__file__
+
+
+def target_path():
+    """Where the generated, gate-instrumented copy is committed."""
+    import repro.baselines
+    return os.path.join(os.path.dirname(repro.baselines.__file__),
+                        GENERATED_NAME)
+
+
+def generate():
+    """Return the generated module text: banner + gate-fixed source."""
+    path = source_path()
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    fixed, report = fix_source(path, source, style="tx")
+    if report.unfixable:
+        details = "; ".join("%d:%d %s" % item for item in report.unfixable)
+        raise LintError("autogen: fixer left uncovered stores in %s: %s"
+                        % (path, details))
+    return "\n".join(_BANNER) + "\n" + fixed
+
+
+def main(argv=None):
+    """CLI entry point; ``--check`` exits 1 on drift, 0 when in sync."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck.autogen",
+        description="Regenerate (or verify) the auto-instrumented "
+                    "structure module behind the autopass backend.")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help="write the generated module to %s"
+                           % GENERATED_NAME)
+    mode.add_argument("--check", action="store_true",
+                      help="verify the committed module matches a fresh "
+                           "regeneration (default)")
+    args = parser.parse_args(argv)
+
+    try:
+        text = generate()
+    except LintError as exc:
+        print("autogen: error: %s" % exc, file=sys.stderr)
+        return 2
+    target = target_path()
+
+    if args.write:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("autogen: wrote %s" % target, file=sys.stderr)
+        return 0
+
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            committed = handle.read()
+    except OSError:
+        print("autogen: %s is missing; run --write" % target,
+              file=sys.stderr)
+        return 1
+    if committed == text:
+        print("autogen: %s matches the generator" % target, file=sys.stderr)
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        committed.splitlines(keepends=True), text.splitlines(keepends=True),
+        fromfile="committed/" + GENERATED_NAME,
+        tofile="generated/" + GENERATED_NAME))
+    print("autogen: %s drifted from the generator; run --write" % target,
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,24 @@ class Baseline:
                 new.append(finding)
         return new, accepted
 
+    def dead_entries(self, findings, checked_keys):
+        """Entries whose file/rule no longer produces *any* finding.
+
+        Unlike :meth:`stale_entries` (an oversized count, reported as a
+        note) a dead entry is a justification for nothing — the code it
+        excused was fixed or deleted — and accumulating them hides real
+        regressions, so the CLI fails on these. Only entries whose file
+        was actually checked this run (``path_key`` in ``checked_keys``)
+        are considered, so partial-tree invocations cannot false-alarm.
+        Returns ``[(path, rule), ...]`` sorted.
+        """
+        counts = {}
+        for finding in findings:
+            key = (path_key(finding.path), finding.rule_id)
+            counts[key] = counts.get(key, 0) + 1
+        return sorted(key for key in self.entries
+                      if key[0] in checked_keys and counts.get(key, 0) == 0)
+
     def stale_entries(self, findings):
         """Entries whose recorded count exceeds current findings — a sign
         the baseline can shrink. Returns ``[(path, rule, unused), ...]``."""

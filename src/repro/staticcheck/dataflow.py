@@ -9,6 +9,10 @@ Two reusable pieces:
 * :func:`dominators` — classic iterative dominator sets, the "on all
   paths before" relation the persist-order checker's argument is phrased
   in (a block B dominates C iff every path from entry to C passes B).
+* :func:`postdominators` — the mirror relation over reversed edges
+  ("on all paths after"): B post-dominates C iff every path from C to
+  the exit passes B. The auto-fix pass uses it to argue a close-gate
+  site covers every store it merges.
 
 Facts must be immutable values supporting ``==`` (frozensets in every
 built-in checker); ``TOP`` is a distinguished "not yet reached /
@@ -156,3 +160,55 @@ def dominators(cfg):
                 dom[block] = new
                 changed = True
     return dom
+
+
+def postdominators(cfg):
+    """Post-dominator sets ``{block: set of blocks post-dominating it}``.
+
+    :func:`dominators` run over reversed edges from the virtual exit:
+    the exit post-dominates everything that reaches it. Blocks that
+    cannot reach the exit (code parked after a jump, or bodies of
+    ``while True`` loops with no break) post-dominate nothing and are
+    reported as post-dominated only by themselves.
+    """
+    reaches_exit = set()
+    stack = [cfg.exit]
+    while stack:
+        block = stack.pop()
+        if block in reaches_exit:
+            continue
+        reaches_exit.add(block)
+        stack.extend(block.predecessors)
+    # Deterministic iteration order (block creation order).
+    order = [block for block in cfg.blocks if block in reaches_exit]
+    every = frozenset(order)
+    pdom = {}
+    for block in cfg.blocks:
+        if block is cfg.exit:
+            pdom[block] = {block}
+        elif block in reaches_exit:
+            pdom[block] = set(every)
+        else:
+            pdom[block] = {block}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is cfg.exit:
+                continue
+            new = None
+            for successor in block.successors:
+                if successor not in reaches_exit:
+                    continue
+                if new is None:
+                    new = set(pdom[successor])
+                else:
+                    new &= pdom[successor]
+            if new is None:
+                new = set()
+            new.add(block)
+            if new != pdom[block]:
+                pdom[block] = new
+                changed = True
+    return pdom

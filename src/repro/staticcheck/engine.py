@@ -20,12 +20,13 @@ from repro.lint.engine import (
     LintContext,
     LintFinding,
     SuppressionIndex,
-    findings_to_json,
     iter_python_files,
+    render_findings,
 )
 from repro.staticcheck.baseline import (
     Baseline,
     discover_baseline,
+    path_key,
     write_baseline,
 )
 from repro.staticcheck.callgraph import ProjectIndex
@@ -181,11 +182,13 @@ def check_source(path, source, project=None, selected=None):
     return findings
 
 
-def run_paths(paths, selected=None):
+def run_paths_details(paths, selected=None):
     """Check every Python file under ``paths``.
 
     Reads everything first to build the project index (the call graph
-    spans the whole run), then checks file by file.
+    spans the whole run), then checks file by file. Returns
+    ``(findings, filenames)`` — the filenames scope baseline staleness
+    checks to what this run actually looked at.
     """
     sources = []
     for filename in iter_python_files(paths):
@@ -196,7 +199,12 @@ def run_paths(paths, selected=None):
     for filename, source in sources:
         findings.extend(check_source(filename, source, project=project,
                                      selected=selected))
-    return findings
+    return findings, [filename for filename, _source in sources]
+
+
+def run_paths(paths, selected=None):
+    """:func:`run_paths_details` without the filename list."""
+    return run_paths_details(paths, selected=selected)[0]
 
 
 def main(argv=None):
@@ -212,7 +220,23 @@ def main(argv=None):
     parser.add_argument("--list-checkers", action="store_true",
                         help="print the checker catalogue and exit")
     parser.add_argument("--json", action="store_true",
-                        help="emit findings as a JSON array on stdout")
+                        help="emit findings as a JSON array on stdout "
+                             "(same as --format json)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None,
+                        help="output format (default text; sarif suits "
+                             "CI annotation upload)")
+    parser.add_argument("--fix", action="store_true",
+                        help="auto-insert persist gates for fixable "
+                             "persist-order findings (rewrites files)")
+    parser.add_argument("--fix-diff", action="store_true",
+                        help="like --fix but print a unified diff on "
+                             "stdout instead of writing files")
+    parser.add_argument("--fix-style",
+                        choices=("auto", "tx", "with", "wal"),
+                        default="auto",
+                        help="gate idiom for --fix/--fix-diff (default: "
+                             "auto — pick per receiver)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="accepted-findings baseline (default: "
                              "discover staticcheck-baseline.txt)")
@@ -230,8 +254,31 @@ def main(argv=None):
         return 0
 
     paths = args.paths or ["src"]
+
+    if args.fix or args.fix_diff:
+        # Imported lazily: the fixer pulls in the checker internals,
+        # and checkers import this module at load time.
+        from repro.staticcheck.fixer import fix_paths
+        fix_baseline = None
+        if not args.no_baseline:
+            baseline_path = args.baseline or discover_baseline(paths)
+            if baseline_path is not None:
+                try:
+                    fix_baseline = Baseline.load(baseline_path)
+                except (LintError, OSError) as exc:
+                    print("staticcheck: error: %s" % exc, file=sys.stderr)
+                    return 2
+        try:
+            return fix_paths(paths, style=args.fix_style,
+                             diff_only=args.fix_diff,
+                             baseline=fix_baseline)
+        except LintError as exc:
+            print("staticcheck: error: %s" % exc, file=sys.stderr)
+            return 2
+
     try:
-        findings = run_paths(paths, selected=args.select)
+        findings, checked_files = run_paths_details(paths,
+                                                    selected=args.select)
     except LintError as exc:
         print("staticcheck: error: %s" % exc, file=sys.stderr)
         return 2
@@ -247,6 +294,7 @@ def main(argv=None):
         return 0
 
     accepted = []
+    dead = []
     if not args.no_baseline:
         baseline_path = args.baseline or discover_baseline(paths)
         if baseline_path is not None:
@@ -256,17 +304,33 @@ def main(argv=None):
                 print("staticcheck: error: %s" % exc, file=sys.stderr)
                 return 2
             findings, accepted = baseline.apply(findings)
+            checked_keys = {path_key(name) for name in checked_files}
+            dead = baseline.dead_entries(accepted + findings, checked_keys)
+            for dead_path, dead_rule in dead:
+                print("staticcheck: error: baseline entry %s %s is dead "
+                      "(that file/rule produces no finding any more); "
+                      "remove it from %s"
+                      % (dead_path, dead_rule, baseline_path),
+                      file=sys.stderr)
             for stale_path, stale_rule, unused in \
                     baseline.stale_entries(accepted + findings):
+                if (stale_path, stale_rule) in dead:
+                    continue
                 print("staticcheck: note: baseline entry %s %s has %d "
                       "unused slot(s)" % (stale_path, stale_rule, unused),
                       file=sys.stderr)
 
-    if args.json:
-        print(findings_to_json(findings))
-    else:
-        for finding in findings:
-            print(finding.render())
+    fmt = args.format or ("json" if args.json else "text")
+    rendered = render_findings(
+        findings, fmt, "repro.staticcheck",
+        rules={cid: c.summary for cid, c in all_checkers().items()})
+    if rendered or fmt != "text":
+        print(rendered)
+    if dead and not findings:
+        print("staticcheck: %d dead baseline entr%s" %
+              (len(dead), "y" if len(dead) == 1 else "ies"),
+              file=sys.stderr)
+        return 1
     if findings:
         print("staticcheck: %d new finding(s)%s"
               % (len(findings),

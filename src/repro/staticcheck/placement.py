@@ -1,0 +1,330 @@
+"""Gate-site planning for the persist-order auto-fix pass.
+
+Consumes the same must-analysis the ``persist-order`` checker runs
+(:class:`~repro.staticcheck.checkers._GateAnalysis`) and turns its
+uncovered-store report into *regions*: contiguous statement runs that
+one ``begin``/``end`` pair (or one ``with transaction:`` block) can
+cover. The planning rules implement the dominance argument directly:
+
+* **Merge.** All uncovered stores of a function are mapped to their
+  owning statements and merged up to the lowest common ancestor body;
+  one gate pair around the spanning statement run covers every store,
+  because a gate opened immediately before the run's first statement
+  dominates everything inside it (verified against the CFG with
+  :func:`~repro.staticcheck.dataflow.dominators` before the plan is
+  accepted).
+* **Hoist.** When the common body is a loop body the region is hoisted
+  to the loop statement itself: a gate inside the body would miss no
+  store, but one *before* the loop dominates every iteration with a
+  single open/close pair instead of one per iteration.
+* **Split.** Statements that close gates (``end``/``commit``/...)
+  break a span into maximal close-free runs, so an inserted open is
+  never cancelled before the stores it must cover.
+* **Close placement.** The fall-through close site after the run
+  covers every store when it post-dominates them
+  (:func:`~repro.staticcheck.dataflow.postdominators`); in-region
+  ``return`` statements otherwise get their own close so the gate
+  cannot leak open.
+
+Stores already covered by an existing gate are never touched — the
+uncovered report is the checker's, so "avoid redundant gates inside
+already-covered regions" falls out for free.
+"""
+
+import ast
+
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.checkers import (
+    _bound_store_names,
+    _gate_delta,
+    _GateAnalysis,
+)
+from repro.staticcheck.dataflow import TOP, dominators, postdominators
+
+_LOOPS = (ast.While, ast.For, ast.AsyncFor)
+
+#: Nested scopes own their own CFG; region scans stop at them.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+def uncovered_stores(func):
+    """``(calls, cfg)``: store calls not gate-dominated on all paths.
+
+    Exactly the calls ``check_persist_order`` would report for this
+    function, in block order, deduplicated by source location.
+    """
+    bound = _bound_store_names(func)
+    cfg = build_cfg(func)
+    in_facts = _GateAnalysis(bound).solve(cfg)
+    reporter = _GateAnalysis(bound, report=[])
+    seen = set()
+    calls = []
+    for block in cfg.blocks:
+        fact = in_facts.get(block, TOP)
+        if fact is TOP:
+            continue
+        reporter.report = []
+        reporter.block_out(fact, block)
+        for call in reporter.report:
+            location = (call.lineno, call.col_offset)
+            if location not in seen:
+                seen.add(location)
+                calls.append(call)
+    return calls, cfg
+
+
+class Region:
+    """One contiguous statement run to be wrapped in a single gate."""
+
+    __slots__ = ("body", "start", "end", "stores")
+
+    def __init__(self, body, start, end, stores):
+        self.body = body
+        self.start = start
+        self.end = end
+        #: The uncovered store calls this region exists to cover.
+        self.stores = stores
+
+    @property
+    def statements(self):
+        """The statements the region spans, in order."""
+        return self.body[self.start:self.end + 1]
+
+    @property
+    def first(self):
+        """The region's first statement (the open-gate anchor)."""
+        return self.body[self.start]
+
+    @property
+    def last(self):
+        """The region's last statement (the close-gate anchor)."""
+        return self.body[self.end]
+
+    def returns(self):
+        """``return`` statements inside the region (region exits that
+        need their own close), shallowest scope only."""
+        found = []
+        stack = list(self.statements)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SCOPE_NODES):
+                continue
+            if isinstance(node, ast.Return):
+                found.append(node)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        found.sort(key=lambda node: (node.lineno, node.col_offset))
+        return found
+
+    def __repr__(self):
+        return "Region(%d..%d, %d store(s))" % (
+            self.start, self.end, len(self.stores))
+
+
+class _FunctionIndex:
+    """Statement chains and node ownership for one function body.
+
+    ``chains`` maps ``id(stmt)`` to its path from the function body as
+    ``((body, index), ...)`` pairs; ``owners`` maps every AST node to
+    the deepest statement containing it; ``loop_bodies`` / ``parents``
+    support the hoisting rule.
+    """
+
+    def __init__(self, func):
+        self.chains = {}
+        self.owners = {}
+        self.loop_bodies = set()
+        self.parents = {}
+        self._visit(func.body, ())
+
+    def _visit(self, body, prefix):
+        for index, stmt in enumerate(body):
+            chain = prefix + ((body, index),)
+            self.chains[id(stmt)] = chain
+            for node in ast.walk(stmt):
+                # Later (deeper) visits overwrite: deepest owner wins.
+                self.owners[id(node)] = stmt
+            if isinstance(stmt, ast.If):
+                children = [stmt.body, stmt.orelse]
+            elif isinstance(stmt, _LOOPS):
+                children = [stmt.body, stmt.orelse]
+                self.loop_bodies.add(id(stmt.body))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                children = [stmt.body]
+            elif isinstance(stmt, ast.Try):
+                children = [stmt.body, stmt.orelse, stmt.finalbody]
+                children.extend(handler.body for handler in stmt.handlers)
+            else:
+                continue
+            for child in children:
+                if child:
+                    self.parents[id(child)] = chain
+                    self._visit(child, chain)
+
+
+def _contains_close(stmt):
+    """True if any call in ``stmt`` closes gates (would cancel an open
+    inserted above it)."""
+    return any(isinstance(node, ast.Call) and _gate_delta(node) == "close"
+               for node in ast.walk(stmt))
+
+
+def _lca_level(chains):
+    """Deepest chain position at which every chain shares one body."""
+    level = 0
+    while True:
+        probe = level + 1
+        if not all(len(chain) > probe for chain in chains):
+            return level
+        body = chains[0][probe][0]
+        if not all(chain[probe][0] is body for chain in chains):
+            return level
+        level = probe
+
+
+def plan_regions(func, per_store=False):
+    """Plan gate regions for ``func``; ``(regions, unplaced, cfg)``.
+
+    ``unplaced`` holds store calls with no owning body statement
+    (defaults, decorators) that no line edit can gate.
+    """
+    calls, cfg = uncovered_stores(func)
+    if not calls:
+        return [], [], cfg
+    index = _FunctionIndex(func)
+    owned = []
+    unplaced = []
+    for call in calls:
+        stmt = index.owners.get(id(call))
+        if stmt is None or id(stmt) not in index.chains:
+            unplaced.append(call)
+        else:
+            owned.append((call, stmt))
+    if not owned:
+        return [], unplaced, cfg
+
+    if per_store:
+        regions = []
+        by_stmt = {}
+        for call, stmt in owned:
+            by_stmt.setdefault(id(stmt), (stmt, []))[1].append(call)
+        for stmt, stmt_calls in by_stmt.values():
+            body, position = index.chains[id(stmt)][-1]
+            regions.append(Region(body, position, position, stmt_calls))
+        regions.sort(key=lambda region: region.first.lineno)
+        return regions, unplaced, cfg
+
+    chains = [index.chains[id(stmt)] for _call, stmt in owned]
+    level = _lca_level(chains)
+    body = chains[0][level][0]
+    rep_calls = {}
+    for (call, _stmt), chain in zip(owned, chains):
+        rep_calls.setdefault(chain[level][1], []).append(call)
+
+    # Hoist: a region inside a loop body becomes the loop statement in
+    # the enclosing body — one gate pair for all iterations.
+    while id(body) in index.loop_bodies:
+        merged = [call for calls_ in rep_calls.values() for call in calls_]
+        body, position = index.parents[id(body)][-1]
+        rep_calls = {position: merged}
+
+    positions = sorted(rep_calls)
+    start, end = positions[0], positions[-1]
+
+    # Split the span at close-bearing statements between the stores.
+    regions = []
+    run_start = None
+    for position in range(start, end + 1):
+        if position not in rep_calls and _contains_close(body[position]):
+            if run_start is not None:
+                regions.append((run_start, position - 1))
+                run_start = None
+        elif run_start is None:
+            run_start = position
+    if run_start is not None:
+        regions.append((run_start, end))
+
+    planned = []
+    for run_start, run_end in regions:
+        run_calls = [call for position, calls_ in rep_calls.items()
+                     if run_start <= position <= run_end
+                     for call in calls_]
+        if run_calls:
+            planned.append(Region(body, run_start, run_end, run_calls))
+    return planned, unplaced, cfg
+
+
+def _event_block_map(cfg):
+    """``id(node) -> block`` for every event node and sub-expression
+    (first occurrence wins, so ``with`` nodes map to their entry)."""
+    blocks = {}
+    for block in cfg.blocks:
+        for kind, node in block.events:
+            blocks.setdefault(id(node), block)
+            for sub in ast.walk(node):
+                blocks.setdefault(id(sub), block)
+    return blocks
+
+
+def _anchor_node(stmt):
+    """The CFG event node evaluated first when ``stmt`` starts."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return stmt.test
+    if isinstance(stmt, ast.Try):
+        return _anchor_node(stmt.body[0]) if stmt.body else stmt
+    return stmt
+
+
+def regions_dominated(cfg, regions):
+    """True when each region's first statement dominates its stores —
+    the must-analysis guarantee an open gate inserted above the region
+    covers every store on every path."""
+    blocks = _event_block_map(cfg)
+    dom = dominators(cfg)
+    for region in regions:
+        anchor = blocks.get(id(_anchor_node(region.first)))
+        if anchor is None:
+            return False
+        for call in region.stores:
+            store_block = blocks.get(id(call))
+            if store_block is None or anchor not in dom.get(store_block, ()):
+                return False
+    return True
+
+
+def fallthrough_close_covers(cfg, region):
+    """True when the close site after the region's last statement
+    post-dominates every store — no in-region ``return`` needs its own
+    close."""
+    if region.returns():
+        return False
+    last = region.last
+    if not isinstance(last, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                             ast.Expr, ast.Pass, ast.Assert, ast.Delete)):
+        # Compound tail: the close lands in a join block the node map
+        # cannot name; the (empty) returns scan already proved every
+        # path falls through to it.
+        return True
+    blocks = _event_block_map(cfg)
+    pdom = postdominators(cfg)
+    close_block = blocks.get(id(last))
+    if close_block is None:
+        return True
+    return all(
+        close_block in pdom.get(blocks.get(id(call)), ())
+        for call in region.stores
+        if blocks.get(id(call)) is not None)
+
+
+def plan_function(func, per_store=False):
+    """Verified gate plan for one function: ``(regions, unplaced, cfg)``.
+
+    Merged plans whose dominance check fails (a store the merged anchor
+    does not dominate, e.g. unreachable code) are demoted to per-store
+    placement, which is trivially dominated.
+    """
+    regions, unplaced, cfg = plan_regions(func, per_store=per_store)
+    if not per_store and regions and not regions_dominated(cfg, regions):
+        regions, unplaced, cfg = plan_regions(func, per_store=True)
+    return regions, unplaced, cfg

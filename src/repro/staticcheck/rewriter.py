@@ -1,0 +1,127 @@
+"""Token-preserving line edits for the persist-order auto-fix pass.
+
+The fixer must not reformat code it did not write (no libcst, no
+``ast.unparse`` round-trip — both would churn every line and destroy
+comments), so every rewrite is expressed as one of two primitive edits
+against the *original* line numbering:
+
+:class:`Insertion`
+    New line(s) spliced in before a 1-based line number. Anchoring on
+    the original numbering means a whole batch of edits can be planned
+    against one parse of the file; :func:`apply_edits` applies them
+    bottom-up so earlier splices never shift later anchors.
+:class:`Indentation`
+    A closed line range shifted right by a prefix (used to pull a
+    region under an inserted ``with`` header). Blank lines are left
+    untouched.
+
+Everything outside the edited lines is preserved byte for byte, which
+is what makes the idempotence contract checkable with a plain string
+comparison.
+"""
+
+import difflib
+
+from repro.errors import LintError
+
+
+class Insertion:
+    """Insert ``lines`` before 1-based ``before_line``.
+
+    ``order`` breaks ties between insertions at the same anchor: lower
+    values end up closer to the top. Insert-after-statement callers
+    anchor at ``stmt.end_lineno + 1``.
+    """
+
+    __slots__ = ("before_line", "lines", "order")
+
+    def __init__(self, before_line, lines, order=0):
+        if before_line < 1:
+            raise LintError("insertion anchor %d is not a 1-based line"
+                            % before_line)
+        self.before_line = before_line
+        self.lines = list(lines)
+        self.order = order
+
+    def __repr__(self):
+        return "Insertion(before_line=%d, %r)" % (self.before_line,
+                                                  self.lines)
+
+
+class Indentation:
+    """Prefix every non-blank line in ``[first, last]`` (1-based,
+    inclusive) with ``prefix``."""
+
+    __slots__ = ("first", "last", "prefix")
+
+    def __init__(self, first, last, prefix="    "):
+        if not 1 <= first <= last:
+            raise LintError("bad indentation range %d..%d" % (first, last))
+        self.first = first
+        self.last = last
+        self.prefix = prefix
+
+    def __repr__(self):
+        return "Indentation(%d..%d)" % (self.first, self.last)
+
+
+def indent_of(line):
+    """The leading whitespace of one source line."""
+    return line[:len(line) - len(line.lstrip())] if line.strip() else ""
+
+
+def apply_edits(source, edits):
+    """Apply a batch of edits planned against ``source``'s numbering.
+
+    Indentations are applied first (they never renumber), then
+    insertions from the bottom of the file upward; two insertions at
+    the same anchor keep their ``order``. Anchors may point one past
+    the last line (append). Returns the rewritten source.
+    """
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n") or not source
+
+    for edit in edits:
+        if not isinstance(edit, Indentation):
+            continue
+        if edit.last > len(lines):
+            raise LintError("indentation range %d..%d exceeds %d lines"
+                            % (edit.first, edit.last, len(lines)))
+        for index in range(edit.first - 1, edit.last):
+            if lines[index].strip():
+                lines[index] = edit.prefix + lines[index]
+
+    insertions = [edit for edit in edits if isinstance(edit, Insertion)]
+    for edit in insertions:
+        if edit.before_line > len(lines) + 1:
+            raise LintError("insertion anchor %d exceeds %d lines"
+                            % (edit.before_line, len(lines)))
+    # Bottom-up, and reversed order-within-anchor, so that inserting
+    # each batch at its anchor preserves (anchor, order) ordering.
+    for edit in sorted(insertions,
+                       key=lambda e: (e.before_line, e.order),
+                       reverse=True):
+        lines[edit.before_line - 1:edit.before_line - 1] = edit.lines
+
+    out = "\n".join(lines)
+    if trailing_newline:
+        out += "\n"
+    return out
+
+
+def unified_diff(old, new, path):
+    """A ``diff -u``-style patch turning ``old`` into ``new``.
+
+    Empty string when the sources are identical; otherwise ends with a
+    newline so concatenated per-file diffs stay a valid patch.
+    """
+    if old == new:
+        return ""
+    diff = difflib.unified_diff(
+        old.splitlines(keepends=True), new.splitlines(keepends=True),
+        fromfile="a/" + path.replace("\\", "/").lstrip("./"),
+        tofile="b/" + path.replace("\\", "/").lstrip("./"))
+    text = "".join(diff)
+    if not text.endswith("\n"):
+        text += "\n"
+    return text

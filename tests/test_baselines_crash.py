@@ -6,7 +6,7 @@ from repro.baselines import make_backend
 from repro.crashtest import CrashInjector, check_prefix_atomic, count_stores
 from tests.conftest import small_cache_kwargs
 
-PER_OP_DURABLE = ["pmdk", "redo", "compiler"]
+PER_OP_DURABLE = ["pmdk", "redo", "compiler", "autopass"]
 SNAPSHOT = ["mprotect", "pax"]
 
 

@@ -12,6 +12,8 @@ from repro.staticcheck import (
     SetIntersectAnalysis,
     SetUnionAnalysis,
     build_cfg,
+    dominators,
+    postdominators,
 )
 
 
@@ -132,3 +134,143 @@ def test_divergence_raises_a_typed_error():
     """)
     with pytest.raises(LintError):
         _NeverConverges().solve(cfg)
+
+
+# -- edge cases: exception edges, loop exits, degenerate graphs ------------
+
+
+def _block_assigning(cfg, name):
+    """The block containing ``<name> = ...`` (exactly one expected)."""
+    matches = [
+        block for block in cfg.blocks
+        if any(kind == "stmt" and isinstance(node, ast.Assign)
+               and any(isinstance(t, ast.Name) and t.id == name
+                       for t in node.targets)
+               for kind, node in block.events)]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def test_except_edge_is_a_may_path_not_a_must_path():
+    # Exception edges are block-granular: the handler meets the
+    # out-facts of every guarded block, so a must-analysis keeps what
+    # the straight-line prefix bound but cannot assume anything bound
+    # past a branch point inside the try body.
+    cfg = cfg_of("""
+        def f(p):
+            try:
+                early = 1
+                if p:
+                    mid = 2
+                late = 3
+            except ValueError:
+                handled = 4
+            return 0
+    """)
+    handler = _block_assigning(cfg, "handled")
+    must_in = MustAssigned().solve(cfg)[handler]
+    assert "early" in must_in
+    assert "mid" not in must_in
+    assert "late" not in must_in
+    assert {"mid", "late", "handled"} <= MayAssigned().solve(cfg)[cfg.exit]
+
+
+def test_top_does_not_leak_through_except_meet():
+    # The handler is reachable only via exception edges; TOP (the meet
+    # identity on not-yet-visited paths) must not erase the facts those
+    # edges carry, and the post-try join must keep what every path
+    # (normal and handled) agrees on.
+    cfg = cfg_of("""
+        def f():
+            base = 1
+            try:
+                risky = 2
+            except KeyError:
+                fallback = 3
+            return 0
+    """)
+    solution = MustAssigned().solve(cfg)
+    handler = _block_assigning(cfg, "fallback")
+    assert solution[handler] is not TOP
+    assert "base" in solution[handler]
+    at_exit = solution[cfg.exit]
+    assert "base" in at_exit            # bound before the try on all paths
+    assert "fallback" not in at_exit    # only bound on the handled path
+
+
+def test_dominators_on_loop_with_break_and_continue():
+    cfg = cfg_of("""
+        def f(items):
+            head = 1
+            for item in items:
+                if item:
+                    broke = 1
+                    break
+                else:
+                    continue
+            return head
+    """)
+    dom = dominators(cfg)
+    head = _block_assigning(cfg, "head")
+    broke = _block_assigning(cfg, "broke")
+    # Straight-line facts: entry and the pre-loop block dominate
+    # everything reachable, including the break arm and the exit.
+    assert cfg.entry in dom[broke] and head in dom[broke]
+    assert head in dom[cfg.exit]
+    # The break arm is conditional: it dominates neither the exit nor
+    # the loop head it jumps over.
+    assert broke not in dom[cfg.exit]
+
+
+def test_single_node_function_cfg_and_dominators():
+    cfg = cfg_of("""
+        def f():
+            pass
+    """)
+    dom = dominators(cfg)
+    pdom = postdominators(cfg)
+    assert cfg.entry in dom[cfg.exit]
+    assert cfg.exit in pdom[cfg.entry]
+    assert MustAssigned().solve(cfg)[cfg.exit] == frozenset()
+
+
+def test_postdominators_on_a_diamond():
+    cfg = cfg_of(DIAMOND)
+    pdom = postdominators(cfg)
+    # The exit post-dominates every block; one arm of the branch
+    # post-dominates nothing above it.
+    y_arm = _block_assigning(cfg, "y")
+    for block in cfg.blocks:
+        assert cfg.exit in pdom[block]
+    assert y_arm not in pdom[cfg.entry]
+
+
+def test_postdominator_of_parked_unreachable_code():
+    # Statements after an unconditional return are parked in a block
+    # that is unreachable forward but still wired to the exit, so the
+    # exit post-dominates it (and nothing else does).
+    cfg = cfg_of("""
+        def f():
+            return 1
+            dead = 2
+    """)
+    pdom = postdominators(cfg)
+    dead = _block_assigning(cfg, "dead")
+    assert pdom[dead] == {dead, cfg.exit}
+
+
+def test_postdominators_with_no_path_to_exit():
+    # A block with no path to the exit (never produced by build_cfg,
+    # but hand-built CFGs and future lowerings can have them) must be
+    # post-dominated only by itself — not by the vacuous universe.
+    from repro.staticcheck.cfg import CFG, Block
+
+    entry, exit_block, orphan = Block(0), Block(1), Block(2)
+    entry.successors.append(exit_block)
+    exit_block.predecessors.append(entry)
+    entry.successors.append(orphan)
+    orphan.predecessors.append(entry)
+    cfg = CFG(None, [entry, exit_block, orphan], entry, exit_block)
+    pdom = postdominators(cfg)
+    assert pdom[orphan] == {orphan}
+    assert pdom[entry] == {entry, exit_block}
