@@ -78,6 +78,26 @@ class KvBackend:
         """Materialize contents for verification."""
         raise NotImplementedError
 
+    # -- trace replay (repro.replay) ---------------------------------------
+
+    def replay_structure_stats(self):
+        """Stat groups the structure layer increments *directly*.
+
+        Trace replay (:mod:`repro.replay`) re-executes everything below
+        the recorded seams — hierarchy loads/stores, WAL appends, flush,
+        ``persist()`` — so those counters must match by re-execution.
+        Counters the structure layer bumps itself (op counts, allocator
+        traffic) never run during replay; their deltas travel in the
+        trace footer under these keys. Subclasses that add structure-side
+        accounting must extend this map.
+        """
+        groups = {"backend.stats": self.stats}
+        alloc = getattr(getattr(self, "_map", None), "_alloc", None)
+        stats = getattr(alloc, "stats", None)
+        if stats is not None:
+            groups["backend.allocator.stats"] = stats
+        return groups
+
 
 class StructureBackend(KvBackend):
     """A backend whose data path is a HashMap over some accessor.

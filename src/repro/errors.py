@@ -161,3 +161,19 @@ class SanitizerError(ReproError):
 class LintError(ReproError):
     """The static linter was misconfigured (unknown rule id, bad plugin,
     unreadable target). Lint *findings* are data, not exceptions."""
+
+
+class TraceError(ReproError):
+    """Base class for trace record/replay failures (repro.replay)."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file is unreadable: bad magic, unsupported version,
+    truncated columns, or a CRC mismatch. Raised on load, never on
+    replay — a trace that decodes is replayable by construction."""
+
+
+class TraceUnsupportedError(TraceError):
+    """The workload did something recording cannot capture faithfully
+    (crash/restart, pipelined persists, store hooks). Callers should
+    fall back to the per-access path; see docs/performance.md."""

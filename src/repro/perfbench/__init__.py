@@ -30,13 +30,24 @@ import time
 from repro.baselines import make_backend
 from repro.cache.cache import CacheConfig
 from repro.errors import ConfigError
+from repro.replay import MARK_TIMED, record, replay_trace
 from repro.sim.rng import DeterministicRng
 
 #: Report format identifier, bumped on incompatible layout changes.
 SCHEMA = "repro.perfbench/1"
 
+#: Comparison report format identifier (see :func:`compare_report`).
+COMPARE_SCHEMA = "repro.perfbench.compare/1"
+
 #: Workloads in the default matrix.
 WORKLOADS = ("store_heavy", "load_heavy", "mixed")
+
+#: Execution engines. ``access`` drives the backend through its public
+#: put/get path (the executable spec); ``replay`` records that exact
+#: event stream once per cell config, then re-executes the trace through
+#: :mod:`repro.replay` — byte-identical simulated behaviour, measured on
+#: the replay interpreter's wall clock.
+ENGINES = ("access", "replay")
 
 #: Backends in the default matrix (the paper's headline comparison set,
 #: plus the instrumentation spectrum: hand-written gates ``pmdk``,
@@ -76,6 +87,26 @@ def build_backend(name):
     return make_backend(name, **kwargs)
 
 
+def _run_ops(backend, workload, ops, hi, rng):
+    """The timed operation loop of ``workload`` (no timing here)."""
+    if workload == "store_heavy":
+        for i in range(ops):
+            backend.put(rng.randint(0, hi), i)
+    elif workload == "load_heavy":
+        for _i in range(ops):
+            backend.get(rng.randint(0, hi))
+    elif workload == "mixed":
+        for i in range(ops):
+            key = rng.randint(0, hi)
+            if i & 1:
+                backend.put(key, i)
+            else:
+                backend.get(key)
+    else:
+        raise ConfigError("unknown workload %r (have %s)"
+                          % (workload, ", ".join(WORKLOADS)))
+
+
 def _drive(backend, workload, ops, records, seed):
     """Run the timed phase; returns (wall_s, sim_ns)."""
     rng = DeterministicRng(seed)
@@ -86,32 +117,73 @@ def _drive(backend, workload, ops, records, seed):
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        if workload == "store_heavy":
-            start = time.perf_counter()
-            for i in range(ops):
-                backend.put(rng.randint(0, hi), i)
-            wall_s = time.perf_counter() - start
-        elif workload == "load_heavy":
-            start = time.perf_counter()
-            for _i in range(ops):
-                backend.get(rng.randint(0, hi))
-            wall_s = time.perf_counter() - start
-        elif workload == "mixed":
-            start = time.perf_counter()
-            for i in range(ops):
-                key = rng.randint(0, hi)
-                if i & 1:
-                    backend.put(key, i)
-                else:
-                    backend.get(key)
-            wall_s = time.perf_counter() - start
-        else:
-            raise ConfigError("unknown workload %r (have %s)"
-                              % (workload, ", ".join(WORKLOADS)))
+        start = time.perf_counter()
+        _run_ops(backend, workload, ops, hi, rng)
+        wall_s = time.perf_counter() - start
     finally:
         if gc_was_enabled:
             gc.enable()
     return wall_s, backend.now_ns - sim_start
+
+
+#: (workload, backend, ops, records, seed) -> (Trace, timed-phase sim_ns).
+#: Replay cells record once per configuration and replay many times; the
+#: cached Trace also memoizes its decoded fast-path columns, so sweeps
+#: pay the recording and decoding cost a single time.
+_TRACE_CACHE = {}
+
+
+def _record_cell_trace(workload, backend_name, ops, records, seed):
+    """Record (or fetch the cached) trace for one cell configuration."""
+    key = (workload, backend_name, ops, records, seed)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    backend = build_backend(backend_name)
+    timed_sim = []
+
+    def drive(live, recorder):
+        rng = DeterministicRng(seed)
+        for i in range(records):
+            live.put(i, i)
+        recorder.mark(MARK_TIMED)
+        sim_start = live.now_ns
+        _run_ops(live, workload, ops, records - 1, rng)
+        timed_sim.append(live.now_ns - sim_start)
+
+    trace = record(backend, drive,
+                   meta={"workload": workload, "ops": ops,
+                         "records": records, "seed": seed})
+    cached = (trace, timed_sim[0])
+    _TRACE_CACHE[key] = cached
+    return cached
+
+
+def _drive_replay(workload, backend_name, ops, records, seed):
+    """Replay one cell's recorded trace; returns (wall_s, sim_ns).
+
+    The trace is recorded (and cached) through the per-access path, so
+    the replayed simulation is that path's event stream re-executed; the
+    engine asserts the timed-phase ``sim_ns`` matches the recording —
+    every replay cell is a free equivalence check on the clock.
+    """
+    trace, expected_sim = _record_cell_trace(
+        workload, backend_name, ops, records, seed)
+    backend = build_backend(backend_name)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        result = replay_trace(trace, backend,
+                              stopwatch=time.perf_counter)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if result.sim_ns_timed != expected_sim:
+        raise ConfigError(
+            "replay diverged: %s/%s timed phase consumed %d sim-ns, "
+            "the per-access recording consumed %d"
+            % (workload, backend_name, result.sim_ns_timed, expected_sim))
+    return result.wall_s_timed, result.sim_ns_timed, backend
 
 
 def attach_tracer(backend, tracer):
@@ -129,18 +201,30 @@ def attach_tracer(backend, tracer):
     (hook or backend.machine.attach_tracer)(tracer)
 
 
-def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer):
+def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer,
+              engine="access"):
     """Measure one cell; returns ``(result dict, last backend)``."""
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
+    if engine not in ENGINES:
+        raise ConfigError("unknown engine %r (have %s)"
+                          % (engine, ", ".join(ENGINES)))
+    if engine == "replay" and tracer is not None:
+        raise ConfigError("tracers observe the per-access path; replay "
+                          "cells cannot be traced")
     best_wall = None
     sim_ns = None
     backend = None
     for _attempt in range(repeats):
-        backend = build_backend(backend_name)
-        if tracer is not None:
-            attach_tracer(backend, tracer)
-        wall_s, cell_sim_ns = _drive(backend, workload, ops, records, seed)
+        if engine == "replay":
+            wall_s, cell_sim_ns, backend = _drive_replay(
+                workload, backend_name, ops, records, seed)
+        else:
+            backend = build_backend(backend_name)
+            if tracer is not None:
+                attach_tracer(backend, tracer)
+            wall_s, cell_sim_ns = _drive(backend, workload, ops, records,
+                                         seed)
         if sim_ns is None:
             sim_ns = cell_sim_ns
         elif sim_ns != cell_sim_ns:
@@ -152,6 +236,7 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer):
     cell = {
         "workload": workload,
         "backend": backend_name,
+        "engine": engine,
         "ops": ops,
         "wall_s": round(best_wall, 6),
         "ops_per_sec": round(ops / best_wall, 1) if best_wall > 0 else 0.0,
@@ -167,7 +252,7 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer):
 
 
 def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
-             seed=DEFAULT_SEED, repeats=1, tracer=None):
+             seed=DEFAULT_SEED, repeats=1, tracer=None, engine="access"):
     """Measure one workload x backend cell; returns a result dict.
 
     With ``repeats`` > 1 the cell is rebuilt and rerun that many times and
@@ -180,33 +265,45 @@ def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
     tracer) is attached to every rebuilt backend; since tracers only
     observe, the ``sim_ns`` assertion keeps holding — which is how the
     harness proves tracing never perturbs the simulation.
+
+    ``engine`` selects how the cell executes (see :data:`ENGINES`).
+    Replay cells record the per-access event stream once, then measure
+    the trace interpreter; their ``sim_ns`` is checked against the
+    recording, so the two engines are directly comparable.
     """
     cell, _backend = _run_cell(workload, backend_name, ops, records, seed,
-                               repeats, tracer)
+                               repeats, tracer, engine)
     return cell
 
 
 def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
                records=DEFAULT_RECORDS, seed=DEFAULT_SEED, repeats=1,
-               progress=None, tracer_factory=None, cell_hook=None):
+               progress=None, tracer_factory=None, cell_hook=None,
+               engines=("access",)):
     """Run the full matrix; returns the report dict (see :data:`SCHEMA`).
 
     ``tracer_factory()`` (optional) builds a fresh tracer per cell;
     ``cell_hook(cell, backend, tracer)`` then receives each finished
     cell with its (last-repeat) backend and tracer, so the CLI can dump
     trace events and metrics without the report format changing.
+
+    ``engines`` extends the matrix with a third axis; the default stays
+    access-only so existing baselines keep their shape.
     """
     results = []
-    for workload in workloads:
-        for backend_name in backends:
-            tracer = tracer_factory() if tracer_factory is not None else None
-            cell, backend = _run_cell(workload, backend_name, ops, records,
-                                      seed, repeats, tracer)
-            results.append(cell)
-            if progress is not None:
-                progress(cell)
-            if cell_hook is not None:
-                cell_hook(cell, backend, tracer)
+    for engine in engines:
+        for workload in workloads:
+            for backend_name in backends:
+                tracer = (tracer_factory() if tracer_factory is not None
+                          and engine == "access" else None)
+                cell, backend = _run_cell(workload, backend_name, ops,
+                                          records, seed, repeats, tracer,
+                                          engine)
+                results.append(cell)
+                if progress is not None:
+                    progress(cell)
+                if cell_hook is not None:
+                    cell_hook(cell, backend, tracer)
     return {
         "schema": SCHEMA,
         "config": {
@@ -216,6 +313,7 @@ def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
             "repeats": repeats,
             "workloads": list(workloads),
             "backends": list(backends),
+            "engines": list(engines),
         },
         "results": results,
     }
@@ -238,8 +336,21 @@ def load_report(path):
     return report
 
 
-def compare(current, baseline, tolerance=0.30):
-    """Grade ``current`` against ``baseline``; returns a list of problems.
+def _cell_key(cell):
+    """Identity of a cell across reports. Baselines written before the
+    engine axis existed (``BENCH_PR3.json``) carry no ``engine`` field;
+    those cells are access cells by construction."""
+    return (cell["workload"], cell["backend"], cell.get("engine", "access"))
+
+
+def compare_report(current, baseline, tolerance=0.30):
+    """Grade ``current`` against ``baseline``; returns a comparison dict.
+
+    The dict (schema :data:`COMPARE_SCHEMA`) is the machine-readable form
+    the CLI writes next to its human-readable verdict: one entry per cell
+    present in both reports, carrying both wall-clock figures, the delta,
+    and the pass/fail flags, plus the flat ``problems`` list that
+    :func:`compare` returns.
 
     Two checks, matching the two quantities in a report:
 
@@ -253,26 +364,63 @@ def compare(current, baseline, tolerance=0.30):
     """
     if not 0 <= tolerance < 1:
         raise ConfigError("tolerance must be in [0, 1)")
-    base_cells = {(cell["workload"], cell["backend"]): cell
-                  for cell in baseline["results"]}
+    base_cells = {_cell_key(cell): cell for cell in baseline["results"]}
     same_config = all(
         current["config"].get(key) == baseline["config"].get(key)
         for key in ("ops", "records", "seed"))
+    cells = []
     problems = []
     for cell in current["results"]:
-        base = base_cells.get((cell["workload"], cell["backend"]))
+        workload, backend, engine = _cell_key(cell)
+        base = base_cells.get((workload, backend, engine))
         if base is None:
             continue
         floor = base["ops_per_sec"] * (1.0 - tolerance)
-        if cell["ops_per_sec"] < floor:
+        regressed = cell["ops_per_sec"] < floor
+        ratio = (cell["ops_per_sec"] / base["ops_per_sec"]
+                 if base["ops_per_sec"] > 0 else 0.0)
+        entry = {
+            "workload": workload,
+            "backend": backend,
+            "engine": engine,
+            "wall_s": cell["wall_s"],
+            "baseline_wall_s": base["wall_s"],
+            "wall_s_delta": round(cell["wall_s"] - base["wall_s"], 6),
+            "ops_per_sec": cell["ops_per_sec"],
+            "baseline_ops_per_sec": base["ops_per_sec"],
+            "throughput_ratio": round(ratio, 4),
+            "regressed": regressed,
+            "sim_ns": cell["sim_ns"],
+            "baseline_sim_ns": base["sim_ns"],
+            "sim_ns_checked": same_config,
+            "sim_ns_match": cell["sim_ns"] == base["sim_ns"],
+        }
+        cells.append(entry)
+        if regressed:
             problems.append(
-                "%s/%s: %.0f ops/s is below %.0f (baseline %.0f - %d%%)"
-                % (cell["workload"], cell["backend"], cell["ops_per_sec"],
+                "%s/%s[%s]: %.0f ops/s is below %.0f (baseline %.0f - %d%%)"
+                % (workload, backend, engine, cell["ops_per_sec"],
                    floor, base["ops_per_sec"], round(tolerance * 100)))
         if same_config and cell["sim_ns"] != base["sim_ns"]:
             problems.append(
-                "%s/%s: simulated time changed %d -> %d ns under identical "
-                "config; the patch changed behaviour, not just speed"
-                % (cell["workload"], cell["backend"], base["sim_ns"],
+                "%s/%s[%s]: simulated time changed %d -> %d ns under "
+                "identical config; the patch changed behaviour, not just "
+                "speed"
+                % (workload, backend, engine, base["sim_ns"],
                    cell["sim_ns"]))
-    return problems
+    return {
+        "schema": COMPARE_SCHEMA,
+        "tolerance": tolerance,
+        "same_config": same_config,
+        "cells": cells,
+        "problems": problems,
+    }
+
+
+def compare(current, baseline, tolerance=0.30):
+    """Grade ``current`` against ``baseline``; returns a list of problems.
+
+    Convenience wrapper over :func:`compare_report` — the flat problem
+    strings only, for callers that just need a pass/fail verdict.
+    """
+    return compare_report(current, baseline, tolerance)["problems"]

@@ -5,17 +5,23 @@ Examples::
     python -m repro.perfbench                          # full matrix -> BENCH_PR3.json
     python -m repro.perfbench --ops 4000 --out smoke.json
     python -m repro.perfbench --compare BENCH_PR3.json # measure, then grade
+    python -m repro.perfbench --engine replay          # trace-replay engine
     python -m repro.perfbench --trace trace.jsonl      # + structured trace
+
+``--compare`` prints a human verdict and also writes the full per-cell
+comparison (wall-clock deltas, throughput ratios, sim_ns checks) as JSON
+next to the report, for dashboards and CI artifacts.
 
 Exit status: 0 on success, 1 on a comparison failure — wired for CI.
 """
 
 import argparse
+import json
 import sys
 
 from repro.perfbench import (BACKENDS, DEFAULT_OPS, DEFAULT_RECORDS,
-                             DEFAULT_SEED, WORKLOADS, compare, load_report,
-                             run_matrix, write_report)
+                             DEFAULT_SEED, WORKLOADS, compare_report,
+                             load_report, run_matrix, write_report)
 
 
 def main(argv=None):
@@ -36,11 +42,18 @@ def main(argv=None):
                         help="comma-separated workload list (default %(default)s)")
     parser.add_argument("--backends", default=",".join(BACKENDS),
                         help="comma-separated backend list (default %(default)s)")
+    parser.add_argument("--engine", default="access",
+                        help="comma-separated engine list: access, replay "
+                             "(default %(default)s)")
     parser.add_argument("--out", default="BENCH_PR3.json",
                         help="report path (default %(default)s)")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="grade this run against a baseline report; "
                              "exit 1 on regression")
+    parser.add_argument("--compare-out", metavar="PATH", default=None,
+                        help="where to write the machine-readable per-cell "
+                             "comparison JSON (default: <out> with a "
+                             ".compare.json suffix)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional wall-clock drop vs the "
                              "baseline (default %(default)s)")
@@ -53,8 +66,9 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     def progress(cell):
-        print("%-12s %-10s %8.0f ops/s  (%.3fs wall, %d sim-ns)"
-              % (cell["workload"], cell["backend"], cell["ops_per_sec"],
+        print("%-12s %-10s %-7s %8.0f ops/s  (%.3fs wall, %d sim-ns)"
+              % (cell["workload"], cell["backend"],
+                 cell.get("engine", "access"), cell["ops_per_sec"],
                  cell["wall_s"], cell["sim_ns"]))
 
     tracer_factory = None
@@ -87,7 +101,8 @@ def main(argv=None):
                             seed=args.seed, repeats=args.repeats,
                             progress=progress,
                             tracer_factory=tracer_factory,
-                            cell_hook=cell_hook)
+                            cell_hook=cell_hook,
+                            engines=args.engine.split(","))
     finally:
         if trace_handle is not None:
             trace_handle.close()
@@ -101,10 +116,20 @@ def main(argv=None):
         print("wrote %s" % args.metrics)
 
     if args.compare:
-        problems = compare(report, load_report(args.compare),
-                           tolerance=args.tolerance)
-        if problems:
-            for problem in problems:
+        grade = compare_report(report, load_report(args.compare),
+                               tolerance=args.tolerance)
+        compare_out = args.compare_out
+        if compare_out is None:
+            base = args.out
+            if base.endswith(".json"):
+                base = base[:-len(".json")]
+            compare_out = base + ".compare.json"
+        with open(compare_out, "w") as handle:
+            json.dump(grade, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % compare_out)
+        if grade["problems"]:
+            for problem in grade["problems"]:
                 print("REGRESSION: %s" % problem, file=sys.stderr)
             return 1
         print("no regression vs %s (tolerance %d%%)"

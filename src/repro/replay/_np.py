@@ -1,0 +1,53 @@
+"""Optional-numpy shim for the replay engine.
+
+numpy is an *optional* extra (``pip install .[replay]``): trace decode and
+the batched histogram settle use it when present, and fall back to the
+stdlib ``array`` module otherwise. Everything downstream imports
+``HAVE_NUMPY``/``np`` from here so the fallback decision lives in exactly
+one place (and tests can monkeypatch it to exercise both paths).
+"""
+
+import sys
+from array import array
+
+try:  # pragma: no cover - exercised via both CI paths
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+#: True on little-endian hosts; the on-disk format is always little-endian.
+_LITTLE = sys.byteorder == "little"
+
+
+def _from_array(typecode, buf):
+    """Decode ``buf`` into a list of ints via the stdlib array module."""
+    out = array(typecode)
+    out.frombytes(bytes(buf))
+    if not _LITTLE:
+        out.byteswap()
+    return out.tolist()
+
+
+def decode_column(typecode, buf, use_numpy=None):
+    """Decode a little-endian column into a list of Python ints.
+
+    ``typecode`` is an ``array`` typecode ('B', 'I', or 'Q'). The numpy
+    path and the fallback produce identical lists; ``use_numpy`` overrides
+    autodetection for tests.
+    """
+    if use_numpy is None:
+        use_numpy = HAVE_NUMPY
+    if use_numpy and HAVE_NUMPY:
+        dtype = {"B": "<u1", "I": "<u4", "Q": "<u8"}[typecode]
+        return np.frombuffer(bytes(buf), dtype=dtype).tolist()
+    return _from_array(typecode, buf)
+
+
+def encode_column(typecode, values):
+    """Encode ints as a little-endian column (bytes)."""
+    out = array(typecode, values)
+    if not _LITTLE:
+        out.byteswap()
+    return out.tobytes()

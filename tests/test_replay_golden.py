@@ -1,0 +1,121 @@
+"""Golden equivalence: replay must be indistinguishable from the
+per-access path (the PR3 pattern, applied machine-wide).
+
+Each case records a seeded workload through a live backend, replays the
+trace onto a freshly built backend, and diffs the two machine-wide
+fingerprints — simulated clock, every stat counter and histogram, every
+memory device's bytes, the machine-shape scalars. An empty diff is the
+acceptance criterion; anything else names exactly which quantity moved.
+"""
+
+import pytest
+
+from repro.errors import TraceUnsupportedError
+from repro.perfbench import BACKENDS, build_backend
+from repro.replay import fast_eligible, load_trace_bytes, record, \
+    replay_trace
+from repro.replay import format as fmt
+from repro.replay.equivalence import diff, fingerprint
+from repro.sim.rng import DeterministicRng
+
+
+def _drive(live, recorder=None, ops=300, records=32, seed=11):
+    """A small mixed workload with an explicit mid-trace persist."""
+    rng = DeterministicRng(seed)
+    for i in range(records):
+        live.put(i, i * 7)
+    if recorder is not None:
+        recorder.mark(fmt.MARK_TIMED)
+    for i in range(ops):
+        key = rng.randint(0, records - 1)
+        if i % 3 == 0:
+            live.get(key)
+        else:
+            live.put(key, i)
+        if i == ops // 2:
+            live.persist()
+    live.persist()
+
+
+def _record_golden(name):
+    golden = build_backend(name)
+    trace = record(golden, _drive)
+    return golden, trace
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_replay_matches_per_access(name):
+    golden, trace = _record_golden(name)
+    fresh = build_backend(name)
+    result = replay_trace(trace, fresh)
+    assert diff(fingerprint(golden), fingerprint(fresh)) == []
+    assert result.events == len(trace)
+    assert result.sim_ns == golden.machine.clock.now_ns
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_generic_engine_matches_per_access(name):
+    golden, trace = _record_golden(name)
+    fresh = build_backend(name)
+    result = replay_trace(trace, fresh, engine="generic")
+    assert result.engine == "generic"
+    assert diff(fingerprint(golden), fingerprint(fresh)) == []
+
+
+def test_fast_engine_used_for_pax():
+    golden, trace = _record_golden("pax")
+    assert fast_eligible(build_backend("pax"))
+    fresh = build_backend("pax")
+    result = replay_trace(trace, fresh, engine="fast")
+    assert result.engine == "fast"
+    assert diff(fingerprint(golden), fingerprint(fresh)) == []
+
+
+def test_fast_and_generic_agree_with_each_other():
+    _golden, trace = _record_golden("pax")
+    a, b = build_backend("pax"), build_backend("pax")
+    replay_trace(trace, a, engine="fast")
+    replay_trace(trace, b, engine="generic")
+    assert diff(fingerprint(a), fingerprint(b)) == []
+
+
+def test_replay_from_serialized_bytes_matches():
+    # The equivalence must survive a disk round trip, not just the
+    # in-memory Trace object.
+    golden, trace = _record_golden("pax")
+    reloaded = load_trace_bytes(trace.to_bytes())
+    fresh = build_backend("pax")
+    replay_trace(reloaded, fresh)
+    assert diff(fingerprint(golden), fingerprint(fresh)) == []
+
+
+def test_replay_is_repeatable():
+    _golden, trace = _record_golden("pax")
+    a, b = build_backend("pax"), build_backend("pax")
+    replay_trace(trace, a)
+    replay_trace(trace, b)
+    assert diff(fingerprint(a), fingerprint(b)) == []
+
+
+def test_marks_reported():
+    _golden, trace = _record_golden("pax")
+    fresh = build_backend("pax")
+    result = replay_trace(trace, fresh)
+    assert fmt.MARK_TIMED in result.marks
+    assert result.sim_ns_timed <= result.sim_ns
+
+
+def test_footer_records_final_sim_ns():
+    golden, trace = _record_golden("dram")
+    assert trace.footer["sim_ns_end"] == golden.machine.clock.now_ns
+
+
+def test_crash_cannot_be_recorded():
+    backend = build_backend("pax")
+
+    def drive(live, _recorder):
+        live.put(0, 1)
+        live.crash()
+
+    with pytest.raises(TraceUnsupportedError):
+        record(backend, drive)
