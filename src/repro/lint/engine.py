@@ -68,14 +68,19 @@ def all_rules():
 class LintFinding:
     """One located finding: file, position, rule id, message."""
 
-    __slots__ = ("path", "lineno", "col", "rule_id", "message")
+    __slots__ = ("path", "lineno", "col", "rule_id", "message",
+                 "properties")
 
-    def __init__(self, path, lineno, col, rule_id, message):
+    def __init__(self, path, lineno, col, rule_id, message,
+                 properties=None):
         self.path = path
         self.lineno = lineno
         self.col = col
         self.rule_id = rule_id
         self.message = message
+        #: Optional extra facts (e.g. the witness verdict); emitted as
+        #: the SARIF result property bag and extra JSON keys when set.
+        self.properties = properties
 
     def render(self):
         """``path:line:col: rule-id message`` (editor-clickable)."""
@@ -194,11 +199,19 @@ def findings_to_json(findings):
     The payload is ``{"schema": 1, "findings": [...]}`` so consumers can
     detect shape changes instead of silently misparsing them.
     """
+    entries = []
+    for finding in findings:
+        entry = {"path": finding.path, "line": finding.lineno,
+                 "col": finding.col, "rule": finding.rule_id,
+                 "message": finding.message}
+        # Extra keys only when a pass attached them — the base shape
+        # stays exactly five keys for existing consumers.
+        properties = getattr(finding, "properties", None)
+        if properties:
+            entry.update(properties)
+        entries.append(entry)
     return json.dumps(
-        {"schema": JSON_SCHEMA_VERSION,
-         "findings": [{"path": f.path, "line": f.lineno, "col": f.col,
-                       "rule": f.rule_id, "message": f.message}
-                      for f in findings]},
+        {"schema": JSON_SCHEMA_VERSION, "findings": entries},
         indent=2)
 
 
@@ -222,7 +235,7 @@ def findings_to_sarif(findings, tool_name, rules=None):
         catalogue.setdefault(finding.rule_id, "")
     results = []
     for finding in findings:
-        results.append({
+        result = {
             "ruleId": finding.rule_id,
             "level": "warning",
             "message": {"text": finding.message},
@@ -237,7 +250,11 @@ def findings_to_sarif(findings, tool_name, rules=None):
                     },
                 },
             }],
-        })
+        }
+        properties = getattr(finding, "properties", None)
+        if properties:
+            result["properties"] = dict(properties)
+        results.append(result)
     log = {
         "$schema": _SARIF_SCHEMA,
         "version": SARIF_VERSION,

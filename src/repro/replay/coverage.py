@@ -1,0 +1,85 @@
+"""Store-protection coverage over a recorded trace.
+
+The staticcheck witness pass (:mod:`repro.staticcheck.witness`) asks
+one question of a trace — "does it end with unprotected PM stores?" —
+but the underlying walk produces a richer picture worth exposing on its
+own: how many stores ran inside a WAL window, how many were retired by
+a later ``PERSIST``, and how many were still exposed when the trace
+ended. This module computes that breakdown with exactly the witness
+semantics, so the two can never disagree about what "protected" means:
+
+* a ``STORE``/``RAW_WRITE`` issued while a WAL window is open (a
+  ``WAL_APPEND`` has happened since the last ``WAL_RESET``) is
+  *wal-protected* at issue time;
+* an unprotected store is *persist-retired* by the next ``PERSIST``;
+* anything else is *exposed* — a crash at end-of-trace loses it.
+"""
+
+
+from repro.replay.format import (
+    PERSIST,
+    RAW_WRITE,
+    STORE,
+    WAL_APPEND,
+    WAL_RESET,
+)
+
+
+class CoverageReport:
+    """Protection breakdown of one trace's PM stores."""
+
+    __slots__ = ("stores", "wal_protected", "persist_retired", "exposed",
+                 "wal_windows", "persists")
+
+    def __init__(self, stores, wal_protected, persist_retired, exposed,
+                 wal_windows, persists):
+        self.stores = stores
+        self.wal_protected = wal_protected
+        self.persist_retired = persist_retired
+        self.exposed = exposed
+        self.wal_windows = wal_windows
+        self.persists = persists
+
+    @property
+    def safe(self):
+        """True iff a crash at the final event loses nothing."""
+        return self.exposed == 0
+
+    def to_dict(self):
+        """The breakdown as a plain dict (JSON-ready)."""
+        return {"stores": self.stores,
+                "wal_protected": self.wal_protected,
+                "persist_retired": self.persist_retired,
+                "exposed": self.exposed,
+                "wal_windows": self.wal_windows,
+                "persists": self.persists}
+
+
+def coverage(trace):
+    """Walk ``trace`` once and return its :class:`CoverageReport`."""
+    wal_open = False
+    pending = 0
+    stores = 0
+    wal_protected = 0
+    persist_retired = 0
+    wal_windows = 0
+    persists = 0
+    for kind in trace.kinds:
+        if kind in (STORE, RAW_WRITE):
+            stores += 1
+            if wal_open:
+                wal_protected += 1
+            else:
+                pending += 1
+        elif kind == WAL_APPEND:
+            if not wal_open:
+                wal_windows += 1
+            wal_open = True
+        elif kind == WAL_RESET:
+            wal_open = False
+        elif kind == PERSIST:
+            persists += 1
+            persist_retired += pending
+            pending = 0
+    return CoverageReport(stores, wal_protected, persist_retired,
+                          pending, wal_windows, persists)

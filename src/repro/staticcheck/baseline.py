@@ -51,16 +51,38 @@ class Baseline:
 
     @classmethod
     def load(cls, path):
-        """Parse a baseline file; raises LintError on malformed lines."""
+        """Parse a baseline file; raises LintError on malformed lines.
+
+        A justification comment must be followed by the entry it
+        excuses: once the first entry has been seen, a comment block
+        terminated by a blank line (or the end of the file) without an
+        entry line is an *orphaned justification* — its entry was
+        deleted but its prose stayed behind — and loading fails. The
+        leading file header (comments before the first entry's block)
+        is exempt.
+        """
         baseline = cls()
         pending_note = []
+        note_line = None
+        seen_entry = False
+
+        def orphaned(line_number):
+            raise LintError(
+                "%s:%d: orphaned justification comment — no baseline "
+                "entry follows it; delete the comment along with the "
+                "entry it excused" % (path, line_number))
+
         with open(path, "r", encoding="utf-8") as handle:
             for line_number, raw in enumerate(handle, start=1):
                 line = raw.strip()
                 if not line:
+                    if pending_note and seen_entry:
+                        orphaned(note_line)
                     pending_note = []
                     continue
                 if line.startswith("#"):
+                    if not pending_note:
+                        note_line = line_number
                     pending_note.append(line.lstrip("# "))
                     continue
                 parts = line.split()
@@ -73,6 +95,9 @@ class Baseline:
                 if pending_note:
                     baseline.notes[key] = " ".join(pending_note)
                 pending_note = []
+                seen_entry = True
+        if pending_note and seen_entry:
+            orphaned(note_line)
         return baseline
 
     def apply(self, findings):

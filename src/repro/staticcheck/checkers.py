@@ -82,6 +82,13 @@ _GATE_CLOSE_ATTRS = frozenset({
 #: ``with x.transaction():`` style context-manager gates.
 _WITH_GATE_NAMES = frozenset({"transaction", "tx", "atomic", "guard"})
 
+#: Pseudo-token meaning "whatever gate the caller may hold at the call
+#: site" — the interprocedural boundary fact. It is *not* a real gate:
+#: a store covered only by ``@entry`` is safe iff every caller calls in
+#: gated, which is the summary question ``interproc.py`` answers.
+ENTRY_TOKEN = "@entry"
+_ENTRY_SET = frozenset({ENTRY_TOKEN})
+
 
 def _bound_store_names(func):
     """Local names bound to a store method (``write = self._write_u64``)."""
@@ -147,16 +154,48 @@ def _with_opens_gate(node):
 
 
 class _GateAnalysis(ForwardAnalysis):
-    """Must-analysis: the set of gate tokens open on *every* path."""
+    """Must-analysis: the set of gate tokens open on *every* path.
 
-    def __init__(self, bound_stores, report=None):
+    Per-function use keeps the historical contract: ``report`` collects
+    the bare store ``ast.Call`` nodes not covered by any token (the
+    fixer's ``placement.py`` consumes exactly that shape).
+
+    The interprocedural layer turns on two extensions:
+
+    * ``entry_gate=True`` seeds the boundary with :data:`ENTRY_TOKEN`,
+      so a store covered *only* by the caller's hypothetical gate still
+      lands in ``report`` but is also recorded in ``entry_covered`` —
+      "safe iff every caller calls in gated";
+    * ``resolver`` supplies callee summaries — ``resolver.opens(call)``
+      treats a call to a must-open project function as a gate-open, and
+      ``resolver.defers_store(call)`` suppresses a store verb that
+      resolves to a project function (the callee body is then the thing
+      being judged, in its own right).
+
+    When ``call_sites`` is set to a list, every call is appended as
+    ``(call, gatedness)`` with gatedness ``"yes"`` (a real token is
+    open), ``"entry"`` (only ``@entry``), or ``"no"``; ``store_calls``
+    accumulates the ids of every store call seen.
+    """
+
+    def __init__(self, bound_stores, report=None, resolver=None,
+                 entry_gate=False):
         self._bound_stores = bound_stores
-        #: When set, (fact, call) pairs for stores are appended here
+        self._resolver = resolver
+        self._entry_gate = entry_gate
+        self._entry_set = _ENTRY_SET if entry_gate else frozenset()
+        #: When set, uncovered store call nodes are appended here
         #: during the post-solve reporting walk.
         self.report = report
+        #: ids of reported calls whose only cover was ``@entry``.
+        self.entry_covered = set()
+        #: When set to a list, ``(call, gatedness)`` for every call.
+        self.call_sites = None
+        #: ids of every store call walked (gated or not).
+        self.store_calls = set()
 
     def boundary(self):
-        return frozenset()
+        return self._entry_set
 
     def meet(self, left, right):
         return left & right
@@ -171,17 +210,30 @@ class _GateAnalysis(ForwardAnalysis):
                              if t != "with:%d" % node.lineno)
         if kind == "except":
             # An exception may have interrupted the gated region at any
-            # point; trust nothing.
+            # point; trust nothing (not even the caller's gate).
             return frozenset()
         for expr in _event_exprs(kind, node):
             for call in ast.walk(expr):
                 if not isinstance(call, ast.Call):
                     continue
-                if self.report is not None \
-                        and _is_store_call(call, self._bound_stores) \
-                        and not fact:
-                    self.report.append(call)
+                is_store = _is_store_call(call, self._bound_stores)
+                if is_store and self._resolver is not None \
+                        and self._resolver.defers_store(call):
+                    is_store = False
+                real = fact - self._entry_set
+                if self.call_sites is not None:
+                    gated = "yes" if real else ("entry" if fact else "no")
+                    self.call_sites.append((call, gated))
+                if is_store:
+                    self.store_calls.add(id(call))
+                    if self.report is not None and not real:
+                        self.report.append(call)
+                        if fact:
+                            self.entry_covered.add(id(call))
                 delta = _gate_delta(call)
+                if delta is None and self._resolver is not None \
+                        and self._resolver.opens(call):
+                    delta = "open"
                 if delta == "open":
                     fact = fact | {"tx"}
                 elif delta == "close":
@@ -204,12 +256,19 @@ def check_persist_order(ctx):
     """
     if not ctx.has_segment("structures", "baselines"):
         return
-    for _qualname, func in ctx.functions():
+    interproc = getattr(ctx, "interproc", None)
+    for qualname, func in ctx.functions():
         bound_stores = _bound_store_names(func)
         cfg = ctx.cfg(func)
-        solver = _GateAnalysis(bound_stores)
+        resolver = None
+        if interproc is not None:
+            resolver = interproc.gate_resolver(ctx.path, qualname, func)
+        entry_gate = interproc is not None
+        solver = _GateAnalysis(bound_stores, resolver=resolver,
+                               entry_gate=entry_gate)
         in_facts = solver.solve(cfg)
-        reporter = _GateAnalysis(bound_stores, report=[])
+        reporter = _GateAnalysis(bound_stores, report=[], resolver=resolver,
+                                 entry_gate=entry_gate)
         seen = set()
         for block in cfg.blocks:
             fact = in_facts.get(block, TOP)
@@ -222,6 +281,10 @@ def check_persist_order(ctx):
                 if location in seen:
                     continue
                 seen.add(location)
+                if interproc is not None:
+                    interproc.register_store(
+                        ctx.path, call.lineno, call.col_offset, qualname,
+                        entry_dep=id(call) in reporter.entry_covered)
                 yield (call.lineno, call.col_offset,
                        "PM store through an accessor is not dominated by "
                        "an open tx/persist gate (static san-missing-undo)")
@@ -321,7 +384,7 @@ class _TaintAnalysis(ForwardAnalysis):
     def _summary_tainted(self, callee):
         if self._summaries is None:
             return False
-        return callee[1] in self._summaries
+        return self._summaries.tainted(callee)
 
     def expr_tainted(self, expr, fact):
         """True if evaluating ``expr`` can yield a tainted value."""
@@ -492,8 +555,30 @@ def _module_sanctioned_for_taint(key):
         or ".perfbench" in key or key.endswith("perfbench")
 
 
+class NameTaintSummaries:
+    """Name-keyed taint oracle (the historical per-function behaviour).
+
+    ``tainted(callee)`` answers by bare function name — conservative
+    against same-named functions in different modules; the
+    interprocedural oracle in ``interproc.py`` resolves identity
+    through the call graph instead.
+    """
+
+    __slots__ = ("names",)
+
+    def __init__(self, names):
+        self.names = names
+
+    def tainted(self, callee):
+        """True if the callee descriptor's bare name is tainted."""
+        return callee[1] in self.names
+
+    def __contains__(self, name):      # keeps `"f" in summaries` working
+        return name in self.names
+
+
 def _taint_summaries(ctx):
-    """Names of functions (project-wide) whose return value is tainted.
+    """Oracle for "does this function return a tainted value?".
 
     Computed once per ProjectIndex and cached on it: a function is
     taint-returning if it has a value-returning ``return`` and its body
@@ -543,8 +628,9 @@ def _taint_summaries(ctx):
                     break
         if not changed:
             break
-    project._taint_summaries = tainted
-    return tainted
+    oracle = NameTaintSummaries(tainted)
+    project._taint_summaries = oracle
+    return oracle
 
 
 class _ModuleImportsShim:
@@ -571,7 +657,12 @@ def check_det_taint(ctx):
     """
     if ctx.in_package(*_TAINT_SANCTIONED):
         return
-    summaries = _taint_summaries(ctx)
+    interproc = getattr(ctx, "interproc", None)
+    summaries = None
+    if interproc is not None:
+        summaries = interproc.taint_oracle(ctx.path)
+    if summaries is None:
+        summaries = _taint_summaries(ctx)
     for _qualname, func in ctx.functions():
         cfg = ctx.cfg(func)
         analysis = _TaintAnalysis(ctx, summaries)
@@ -610,13 +701,22 @@ _OWNER_MODULE_PREFIXES = (
 
 
 class _EscapeAnalysis(ForwardAnalysis):
-    """May-analysis: local names currently bound to a raw device."""
+    """May-analysis: local names currently bound to a raw device.
 
-    def __init__(self, ctx):
+    ``params`` seeds the boundary — the interprocedural summary pass
+    uses it to ask "if every parameter were a raw device, would this
+    function leak one?". ``callee_safe`` (a ``call -> bool`` predicate)
+    discharges foreign-call escapes whose resolved callee is known not
+    to leak its parameters.
+    """
+
+    def __init__(self, ctx, params=(), callee_safe=None):
         self._ctx = ctx
+        self._params = frozenset(params)
+        self._callee_safe = callee_safe
 
     def boundary(self):
-        return frozenset()
+        return self._params
 
     def meet(self, left, right):
         return left | right
@@ -712,6 +812,8 @@ class _EscapeAnalysis(ForwardAnalysis):
             module = self._callee_module(call)
             if module is None:
                 continue
+            if self._callee_safe is not None and self._callee_safe(call):
+                continue
             args = list(call.args) + [kw.value for kw in call.keywords]
             for arg in args:
                 if self._raw_refs(arg, fact):
@@ -735,10 +837,14 @@ def check_pm_escape(ctx):
     """
     if ctx.has_segment(*_OWNER_SEGMENTS):
         return
+    interproc = getattr(ctx, "interproc", None)
+    callee_safe = None
+    if interproc is not None:
+        callee_safe = interproc.escape_oracle(ctx.path)
     for qualname, func in ctx.functions():
         func_public = not func.name.startswith("_")
         cfg = ctx.cfg(func)
-        analysis = _EscapeAnalysis(ctx)
+        analysis = _EscapeAnalysis(ctx, callee_safe=callee_safe)
         in_facts = analysis.solve(cfg)
         seen = set()
         for block in cfg.blocks:

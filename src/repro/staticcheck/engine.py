@@ -75,6 +75,10 @@ class CheckContext(LintContext):
         LintContext.__init__(self, path, source, tree)
         #: ProjectIndex over the whole run (None for single-file calls).
         self.project = project
+        #: InterprocAnalysis when running whole-program mode (else None);
+        #: checkers consult it for callee summaries and register
+        #: candidate metadata on it.
+        self.interproc = None
         self._cfgs = {}
         self._functions = None
         self._imports = None
@@ -156,12 +160,15 @@ def _select(selected):
     return chosen
 
 
-def check_source(path, source, project=None, selected=None):
+def check_source(path, source, project=None, selected=None, interproc=None):
     """Check one source string; returns a list of LintFinding.
 
     Same contract as ``lint_source``: syntax errors become a
     ``parse-error`` finding, suppressions are honoured per line (with
-    multi-line statement awareness).
+    multi-line statement awareness). ``interproc`` switches the
+    checkers into whole-program mode (callee summaries resolve gates,
+    candidates register their function metadata for the discharge
+    filter).
     """
     checkers = _select(selected)
     try:
@@ -170,6 +177,7 @@ def check_source(path, source, project=None, selected=None):
         return [LintFinding(path, exc.lineno or 1, exc.offset or 0,
                             "parse-error", str(exc.msg))]
     ctx = CheckContext(path, source, tree, project=project)
+    ctx.interproc = interproc
     suppressions = SuppressionIndex(ctx.lines, tree)
     findings = []
     for checker_obj in checkers:
@@ -207,6 +215,102 @@ def run_paths(paths, selected=None):
     return run_paths_details(paths, selected=selected)[0]
 
 
+def run_interproc(paths, selected=None, cache_dir=None, use_cache=True):
+    """Whole-program interprocedural run over ``paths``.
+
+    Builds the project index and the
+    :class:`~repro.staticcheck.interproc.InterprocAnalysis`, computes
+    (or loads from the per-module summary cache) function summaries and
+    raw findings, then applies the caller-direction discharge filter.
+    Returns ``(findings, filenames, stats)`` where ``stats`` carries
+    ``analyzed``/``total`` module counts and the discharge count.
+
+    The cache is bypassed when a checker selection is active — entries
+    always describe full-catalogue runs.
+    """
+    # Imported lazily: interproc pulls in the checkers, which import
+    # this module at load time.
+    from repro.staticcheck.cache import (
+        CACHE_FORMAT,
+        DEFAULT_CACHE_DIR,
+        SALT,
+        SummaryCache,
+        content_hash,
+        env_hashes,
+    )
+    from repro.staticcheck.interproc import InterprocAnalysis
+    from repro.staticcheck.callgraph import module_key
+
+    sources = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            sources.append((filename, handle.read()))
+    project = ProjectIndex.build(sources)
+    interproc = InterprocAnalysis(project)
+
+    cache = None
+    if use_cache and selected is None:
+        cache = SummaryCache(cache_dir or DEFAULT_CACHE_DIR)
+    contents = {}
+    for filename, source in sources:
+        contents[module_key(filename)] = content_hash(source)
+    env = env_hashes(project, contents) if cache is not None else {}
+
+    hits = {}
+    if cache is not None:
+        for filename, _source in sources:
+            key = module_key(filename)
+            if key not in project.modules:
+                continue            # unparseable: always analyzed fresh
+            entry = cache.load(key, filename, env.get(key))
+            if entry is not None:
+                hits[key] = entry
+
+    for entry in hits.values():
+        interproc.load_summaries(entry["summaries"])
+    misses = [module_key(f) for f, _s in sources
+              if module_key(f) not in hits]
+    interproc.compute_summaries(misses)
+
+    findings = []
+    for filename, source in sources:
+        key = module_key(filename)
+        entry = hits.get(key)
+        if entry is not None:
+            for lineno, col, rule, message in entry["findings"]:
+                findings.append(LintFinding(filename, lineno, col,
+                                            rule, message))
+            for lineno, col, qualname, entry_dep in entry["candidates"]:
+                interproc.register_store(filename, lineno, col,
+                                         qualname, entry_dep)
+            continue
+        file_findings = check_source(filename, source, project=project,
+                                     selected=selected,
+                                     interproc=interproc)
+        findings.extend(file_findings)
+        if cache is not None and key in project.modules:
+            cache.store(key, {
+                "format": CACHE_FORMAT,
+                "salt": SALT,
+                "path": filename,
+                "module": key,
+                "content_hash": contents[key],
+                "env_hash": env.get(key),
+                "summaries": interproc.summary_dicts(key),
+                "findings": [[f.lineno, f.col, f.rule_id, f.message]
+                             for f in file_findings],
+                "candidates": interproc.candidates_for(filename),
+            })
+
+    findings = interproc.filter_findings(findings)
+    stats = {
+        "analyzed": len(sources) - len(hits),
+        "total": len(sources),
+        "discharged": len(interproc.discharged),
+    }
+    return findings, [filename for filename, _source in sources], stats
+
+
 def main(argv=None):
     """CLI entry point; exit code 0 clean, 1 findings, 2 usage error."""
     parser = argparse.ArgumentParser(
@@ -237,6 +341,22 @@ def main(argv=None):
                         default="auto",
                         help="gate idiom for --fix/--fix-diff (default: "
                              "auto — pick per receiver)")
+    parser.add_argument("--interprocedural", action="store_true",
+                        help="whole-program mode: compute per-function "
+                             "persistency summaries over the call graph, "
+                             "discharge findings guaranteed by callees/"
+                             "callers, annotate survivors with call paths")
+    parser.add_argument("--witness-trace", action="append", metavar="FILE",
+                        help="replay trace (repro.replay format) used to "
+                             "ground surviving findings as 'confirmed' or "
+                             "'static-only' (repeatable; implies "
+                             "--interprocedural)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="summary cache directory for "
+                             "--interprocedural (default: "
+                             ".staticcheck-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the interprocedural summary cache")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="accepted-findings baseline (default: "
                              "discover staticcheck-baseline.txt)")
@@ -276,9 +396,31 @@ def main(argv=None):
             print("staticcheck: error: %s" % exc, file=sys.stderr)
             return 2
 
+    if args.witness_trace:
+        args.interprocedural = True
+
     try:
-        findings, checked_files = run_paths_details(paths,
-                                                    selected=args.select)
+        if args.interprocedural:
+            findings, checked_files, stats = run_interproc(
+                paths, selected=args.select,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache)
+            print("staticcheck: re-analyzed %d/%d module(s)"
+                  % (stats["analyzed"], stats["total"]), file=sys.stderr)
+            if stats["discharged"]:
+                print("staticcheck: interprocedural summaries discharged "
+                      "%d finding(s)" % stats["discharged"],
+                      file=sys.stderr)
+            if args.witness_trace:
+                from repro.staticcheck.witness import apply_witnesses
+                confirmed, static_only = apply_witnesses(
+                    findings, args.witness_trace)
+                print("staticcheck: witness: %d confirmed, "
+                      "%d static-only" % (confirmed, static_only),
+                      file=sys.stderr)
+        else:
+            findings, checked_files = run_paths_details(
+                paths, selected=args.select)
     except LintError as exc:
         print("staticcheck: error: %s" % exc, file=sys.stderr)
         return 2

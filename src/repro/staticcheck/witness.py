@@ -1,0 +1,142 @@
+"""Trace-grounded witnesses for interprocedural staticcheck findings.
+
+A static finding says "this PM store *can* execute outside a persist
+gate"; a recorded :mod:`repro.replay` trace says what a real run
+actually did. This pass bridges the two: it walks each trace with the
+same protection semantics the crash checker uses — a ``STORE`` /
+``RAW_WRITE`` is protected iff it lands inside an open WAL window (a
+``WAL_APPEND`` has happened since the last ``WAL_RESET``) or a later
+``PERSIST`` covers it — and calls the trace *unsafe* when unprotected
+stores are still pending at the final event (a crash there loses them).
+
+An unsafe trace then *confirms* every surviving finding whose module is
+reachable from the recorded backend's module through the import graph
+(the trace footer names the backend; the backend class is found by its
+``name = "..."`` class attribute). Everything else stays
+``static-only`` — still a real lattice fact, just not demonstrated by
+the traces at hand. The verdict lands on ``finding.properties`` so the
+JSON/SARIF emitters can carry it.
+"""
+
+import ast
+import os
+
+from repro.errors import LintError, TraceFormatError
+from repro.lint.engine import iter_python_files
+from repro.replay.format import (
+    PERSIST,
+    RAW_WRITE,
+    STORE,
+    WAL_APPEND,
+    WAL_RESET,
+    load_trace,
+)
+from repro.staticcheck.callgraph import ProjectIndex, module_key
+
+
+def unsafe_store_count(trace):
+    """How many PM stores are still unprotected at end-of-trace.
+
+    Walks the event stream once, counting ``STORE``/``RAW_WRITE``
+    events issued outside an open WAL window; each ``PERSIST`` retires
+    everything pending before it. The residue is exactly what a crash
+    at the last event would lose.
+    """
+    wal_open = False
+    pending = 0
+    for kind in trace.kinds:
+        if kind in (STORE, RAW_WRITE):
+            if not wal_open:
+                pending += 1
+        elif kind == WAL_APPEND:
+            wal_open = True
+        elif kind == WAL_RESET:
+            wal_open = False
+        elif kind == PERSIST:
+            pending = 0
+    return pending
+
+
+def _backend_module(project, backend_name):
+    """The module key declaring the class whose ``name`` class attribute
+    equals ``backend_name``, or None."""
+    for key in sorted(project.modules):
+        module = project.modules[key]
+        for class_name in sorted(module.classes):
+            decl = module.classes[class_name]
+            for node in decl.node.body:
+                if not isinstance(node, ast.Assign):
+                    continue
+                names = [target.id for target in node.targets
+                         if isinstance(target, ast.Name)]
+                if "name" in names \
+                        and isinstance(node.value, ast.Constant) \
+                        and node.value.value == backend_name:
+                    return key
+    return None
+
+
+def _import_closure(project, root_key):
+    """Module keys reachable from ``root_key`` via top-level imports."""
+    seen = {root_key}
+    frontier = [root_key]
+    while frontier:
+        module = project.modules.get(frontier.pop())
+        if module is None:
+            continue
+        for target in module.imports.values():
+            if target in project.modules and target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen
+
+
+def apply_witnesses(findings, trace_paths, source_roots=None):
+    """Label every finding ``confirmed`` or ``static-only``.
+
+    ``trace_paths`` are recorded :mod:`repro.replay` trace files;
+    ``source_roots`` defaults to the top-level directories of the
+    finding paths (the project the findings came from is re-indexed to
+    walk its import graph). Returns ``(confirmed, static_only)``
+    counts; mutates ``finding.properties`` in place.
+    """
+    if source_roots is None:
+        roots = {finding.path.replace(os.sep, "/").split("/")[0]
+                 for finding in findings}
+        source_roots = sorted(root for root in roots if root)
+    sources = []
+    for filename in iter_python_files(source_roots):
+        with open(filename, "r", encoding="utf-8") as handle:
+            sources.append((filename, handle.read()))
+    project = ProjectIndex.build(sources)
+
+    confirmed_modules = set()
+    for trace_path in trace_paths:
+        try:
+            trace = load_trace(trace_path)
+        except TraceFormatError as exc:
+            raise LintError("witness trace %s: %s" % (trace_path, exc))
+        if unsafe_store_count(trace) <= 0:
+            continue
+        backend = (trace.footer or {}).get("backend")
+        if not backend:
+            continue
+        root = _backend_module(project, backend)
+        if root is None:
+            continue
+        confirmed_modules |= _import_closure(project, root)
+
+    confirmed = 0
+    static_only = 0
+    for finding in findings:
+        key = module_key(finding.path)
+        verdict = ("confirmed" if key in confirmed_modules
+                   else "static-only")
+        properties = dict(getattr(finding, "properties", None) or {})
+        properties["witness"] = verdict
+        finding.properties = properties
+        if verdict == "confirmed":
+            confirmed += 1
+        else:
+            static_only += 1
+    return confirmed, static_only

@@ -143,7 +143,11 @@ def test_no_baseline_flag_reports_everything(tmp_path, capsys):
 # -- the tree itself --------------------------------------------------------
 
 def test_real_tree_is_clean_against_committed_baseline(capsys):
-    assert main([SRC_REPRO, "--baseline", BASELINE]) == 0
+    # The committed baseline records the *interprocedural* findings: the
+    # backend entries the per-function checker needed are discharged by
+    # callee summaries, so per-function runs use --no-baseline instead.
+    assert main([SRC_REPRO, "--interprocedural", "--no-cache",
+                 "--baseline", BASELINE]) == 0
     capsys.readouterr()
 
 
