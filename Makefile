@@ -5,7 +5,7 @@ PYTHON ?= python
 .PHONY: install test bench examples quicktest lint staticcheck \
 	staticcheck-interproc fuzz fuzz-smoke perfbench perfbench-pr8 \
 	perfbench-compare replay-smoke obs-smoke obs-overhead chaos-smoke \
-	clean
+	sweep sweep-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -115,6 +115,21 @@ chaos-smoke:
 		--crashes 10 --storms 2 --seed 42 --deadline-ns 50000000 \
 		--sanitize --trace /tmp/chaos-trace.jsonl \
 		--metrics /tmp/chaos-metrics.prom --json /tmp/chaos-drill.json
+
+# Experiment grids (docs/experiments.md): a declarative spec expands to
+# a backend x workload x mechanism x LLC-size matrix, run record-once/
+# replay-many with every replayed cell fingerprint-verified against the
+# per-access engine. Both targets exit nonzero on any fingerprint
+# mismatch. `sweep` reproduces the full paper grid into SWEEP.json;
+# `sweep-smoke` is the reduced deterministic CI grid, whose report is
+# byte-identical across same-seed reruns.
+sweep:
+	PYTHONPATH=src $(PYTHON) -m repro.sweep specs/full-grid.toml \
+		--out SWEEP.json --markdown SWEEP.md
+
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.sweep specs/smoke-grid.toml \
+		--out sweep-smoke.json --markdown sweep-smoke.md
 
 examples:
 	@for script in examples/*.py; do \

@@ -10,6 +10,17 @@ from repro.cache.hierarchy import (
 )
 from repro.cache.homes import Home, HostHome
 from repro.cache.line import CacheLine, MesiState
+from repro.cache.mechanisms import (
+    MECHANISMS,
+    Mechanism,
+    MechanismStack,
+    MissCache,
+    NextLinePrefetch,
+    StreamBuffers,
+    VictimCache,
+    make_mechanisms,
+    mechanism_names,
+)
 from repro.cache.replacement import (
     FifoPolicy,
     LruPolicy,
@@ -29,13 +40,22 @@ __all__ = [
     "Home",
     "HostHome",
     "LruPolicy",
+    "MECHANISMS",
+    "Mechanism",
+    "MechanismStack",
     "MesiState",
+    "MissCache",
     "MissRates",
+    "NextLinePrefetch",
     "RandomPolicy",
     "ReplacementPolicy",
     "SetAssociativeCache",
+    "StreamBuffers",
+    "VictimCache",
     "default_l1_config",
     "default_l2_config",
     "default_llc_config",
+    "make_mechanisms",
     "make_policy",
+    "mechanism_names",
 ]

@@ -28,6 +28,7 @@ first.
 
 from repro.cache.cache import CacheConfig, SetAssociativeCache
 from repro.cache.line import CacheLine, MesiState
+from repro.cache.mechanisms import make_mechanisms
 from repro.errors import AddressError, ProtocolError
 from repro.util.bitops import split_lines
 from repro.util.constants import CACHE_LINE_SIZE
@@ -76,7 +77,8 @@ class CacheHierarchy:
     """A multi-core write-back cache hierarchy over pluggable homes."""
 
     def __init__(self, clock, latency, num_cores=1,
-                 l1_config=None, l2_config=None, llc_config=None):
+                 l1_config=None, l2_config=None, llc_config=None,
+                 mechanisms=None, mech_policy="lru"):
         self._clock = clock
         self._lat = latency
         self.num_cores = num_cores
@@ -86,6 +88,10 @@ class CacheHierarchy:
             for i in range(num_cores)
         ]
         self._llc = SetAssociativeCache("llc", llc_config or default_llc_config())
+        #: Miss-path mechanism stack below the LLC (None = pre-zoo miss
+        #: path, byte-for-byte). See :mod:`repro.cache.mechanisms`.
+        self._mech = make_mechanisms(mechanisms, mech_policy,
+                                     label_prefix="host.mech")
         from repro.cache.coherence import Directory
         self._dir = Directory()
         # Direct reference to the directory's entry dict: the per-access
@@ -120,6 +126,8 @@ class CacheHierarchy:
         self._c_clwb_writebacks = stats.counter("clwb_writebacks")
         self._c_snoop_shared = stats.counter("snoop_shared")
         self._c_snoop_invalidate = stats.counter("snoop_invalidate")
+        self._c_mech_hits = stats.counter("mech_hits")
+        self._c_mech_prefetch_fetches = stats.counter("mech_prefetch_fetches")
         self._h_access_ns = stats.histogram("access_ns")
         cache_lat = self._lat.cache
         self._l1_ns = cache_lat.l1_ns
@@ -226,6 +234,10 @@ class CacheHierarchy:
                 latency += self._upgrade(core.core_id, line_addr)
             elif state == _EXCLUSIVE:
                 self._dir.set_state(line_addr, core.core_id, _MODIFIED)
+                if self._mech is not None:
+                    # Silent E->M: the only M transition with no home
+                    # message, so the side buffers must be told here.
+                    self._mech.invalidate(line_addr)
         # _charge() inlined: this is the single hottest return path.
         self._record_access(latency)
         self._advance(latency)
@@ -234,6 +246,11 @@ class CacheHierarchy:
     def _miss_path(self, core, line_addr, exclusive):
         """The line is not in this core; find it elsewhere or at home."""
         latency = 0.0
+        mech = self._mech
+        if exclusive and mech is not None:
+            # The line is about to be modified: whatever clean copy a
+            # side buffer holds goes stale the instant the store lands.
+            mech.invalidate(line_addr)
         owner = self._dir.owner(line_addr)
         sharers = [c for c in self._dir.sharers(line_addr)
                    if c != core.core_id]
@@ -296,16 +313,30 @@ class CacheHierarchy:
                     new_state = MesiState.SHARED
             else:
                 latency += self._llc_ns   # LLC lookup that missed
-                data, home_ns = home.acquire(line_addr, exclusive, True)
-                latency += home_ns
-                self._c_memory_fetches.add(1)
-                line = CacheLine(line_addr, data, dirty=False)
-                if exclusive:
-                    new_state = MesiState.MODIFIED
-                elif home.grants_exclusive and not self._dir.sharers(line_addr):
-                    new_state = MesiState.EXCLUSIVE
-                else:
+                data = None
+                if mech is not None and not exclusive:
+                    # Side buffers serve demand loads only: stores must
+                    # reach the home so the device logs the first write.
+                    data = mech.probe(line_addr, self._mech_fetch)
+                if data is not None:
+                    latency += self._llc_ns   # adjacent side-buffer probe
+                    self._c_mech_hits.value += 1
+                    line = CacheLine(line_addr, data, dirty=False)
                     new_state = MesiState.SHARED
+                else:
+                    data, home_ns = home.acquire(line_addr, exclusive, True)
+                    latency += home_ns
+                    self._c_memory_fetches.add(1)
+                    if mech is not None and not exclusive:
+                        mech.on_demand_fill(line_addr, data, self._mech_fetch)
+                    line = CacheLine(line_addr, data, dirty=False)
+                    if exclusive:
+                        new_state = MesiState.MODIFIED
+                    elif home.grants_exclusive \
+                            and not self._dir.sharers(line_addr):
+                        new_state = MesiState.EXCLUSIVE
+                    else:
+                        new_state = MesiState.SHARED
         latency += self._fill_core(core, line)
         self._dir.set_state(line_addr, core.core_id, new_state)
         tracer = self.tracer
@@ -317,6 +348,8 @@ class CacheHierarchy:
 
     def _upgrade(self, core_id, line_addr):
         """S -> M: invalidate other sharers, tell the home if it must know."""
+        if self._mech is not None:
+            self._mech.invalidate(line_addr)
         latency = self._invalidate_sharers(core_id, line_addr)
         # A dirty LLC copy (from an earlier M->S downgrade) is superseded:
         # the new owner's M line carries the write-back obligation now, so
@@ -394,6 +427,11 @@ class CacheHierarchy:
         self._c_l2_evictions.add(1)
         if victim.dirty:
             return self._insert_llc(CacheLine(victim.addr, victim.data, dirty=True))
+        if self._mech is not None:
+            # Clean L2 victims bypass the non-inclusive LLC entirely, so
+            # this is where they leave the hierarchy — the victim-buffer
+            # capture point on the memory side.
+            self._mech.on_evict(victim.addr, victim.snapshot())
         return 0.0
 
     def _insert_llc(self, line):
@@ -404,12 +442,50 @@ class CacheHierarchy:
             existing.dirty = existing.dirty or line.dirty
             return 0.0
         victim = self._llc.insert(line)
-        if victim is not None and victim.dirty:
+        if victim is None:
+            return 0.0
+        latency = 0.0
+        if victim.dirty:
             home = self.home_for(victim.addr)
             latency = home.writeback(victim.addr, victim.snapshot())
             self._c_llc_writebacks.add(1)
-            return latency
-        return 0.0
+        if self._mech is not None:
+            # Dirty victims were just written back, so the captured copy
+            # matches the home again; clean victims always did.
+            self._mech.on_evict(victim.addr, victim.snapshot())
+        return latency
+
+    # -- mechanism plumbing ------------------------------------------------------
+
+    def _mech_fetch(self, line_addr):
+        """Guarded background fetch for mechanism prefetches.
+
+        Returns the home's current data for ``line_addr``, or None when
+        the line must not be prefetched: held by any core (an E holder
+        could silently transition to M, leaving the buffer stale with no
+        invalidation message), resident in the LLC (prefetch would be
+        pure pollution), or outside every home's range. The transfer's
+        side effects (home counters, link bandwidth backlog, device HBM
+        fill) happen; the latency is hidden — an overlapped background
+        fill that never delays the demand access that triggered it.
+        """
+        entry = self._dir_entries.get(line_addr)
+        if entry is not None and entry.states:
+            return None
+        if self._llc.peek(line_addr) is not None:
+            return None
+        try:
+            home = self.home_for(line_addr)
+        except AddressError:
+            return None
+        data, _overlapped_ns = home.acquire(line_addr, False, True)
+        self._c_mech_prefetch_fetches.value += 1
+        return data
+
+    @property
+    def mechanisms(self):
+        """The miss-path mechanism stack, or None (tests, fast-path gate)."""
+        return self._mech
 
     # -- snoops from the device (and eADR flushing) -----------------------------
 
@@ -452,6 +528,10 @@ class CacheHierarchy:
     def snoop_invalidate(self, line_addr):
         """Remove every cached copy; return freshest dirty data (or None)."""
         self._c_snoop_invalidate.add(1)
+        if self._mech is not None:
+            # The device is taking custody of the line; drop any side-
+            # buffer copy along with the cached ones.
+            self._mech.invalidate(line_addr)
         fresh = None
         owner = self._dir.owner(line_addr)
         for sharer in list(self._dir.sharers(line_addr)):
@@ -503,6 +583,8 @@ class CacheHierarchy:
             core.l1.clear()
             core.l2.clear()
         self._llc.clear()
+        if self._mech is not None:
+            self._mech.clear()
         self._dir.clear()
         self.stats.counter("crash_drops").add(1)
 

@@ -41,8 +41,18 @@ class PaxConfig:
     #: Fixed device pipeline cost charged per message (FPGA/ASIC service).
     device_processing_ns: float = 15.0
 
+    #: Miss-path mechanism spec for the device's PM read path (e.g.
+    #: ``"victim:32"``, ``"stream:4x4+nextline:16"``); None/"none"
+    #: disables the zoo — see :mod:`repro.cache.mechanisms`.
+    mechanisms: str = None
+
+    #: Replacement policy inside the mechanisms that have one.
+    mechanism_policy: str = "lru"
+
     def validate(self):
         """Raise :class:`ConfigError` on inconsistent settings."""
+        from repro.cache.mechanisms import make_mechanisms
+        make_mechanisms(self.mechanisms, self.mechanism_policy)
         if self.hbm_lines < 0:
             raise ConfigError("hbm_lines cannot be negative")
         if self.writeback_buffer_lines <= 0:

@@ -22,6 +22,7 @@ clock: the machine registers :meth:`background_tick` as a clock callback,
 so device-side asynchrony advances whenever host time does.
 """
 
+from repro.cache.mechanisms import make_mechanisms
 from repro.core.config import PaxConfig
 from repro.core.epochs import EpochManager
 from repro.core.hbm import HbmCache
@@ -48,6 +49,15 @@ class PaxDevice:
         self.undo = UndoLogger(self.region, self.config,
                                self.epochs.current_epoch)
         self.hbm = HbmCache(self.config.hbm_lines)
+        #: Miss-path mechanism stack between the HBM cache and PM media
+        #: (None = pre-zoo read path). See :mod:`repro.cache.mechanisms`.
+        self.mech = make_mechanisms(self.config.mechanisms,
+                                    self.config.mechanism_policy,
+                                    label_prefix="dev.mech")
+        if self.mech is not None:
+            # HBM LRU victims fall into the side buffers instead of
+            # vanishing (guarded: never capture a host-modified line).
+            self.hbm.on_evict = self._mech_capture
         self.writeback = WriteBackCoordinator(pool, self.hbm, self.undo,
                                               self.config)
         from repro.core.pipeline import PersistPipeline
@@ -71,6 +81,8 @@ class PaxDevice:
         self._c_stalled_evicts = stats.counter("stalled_evicts")
         self._c_buffer_serves = stats.counter("buffer_serves")
         self._c_pm_line_reads = stats.counter("pm_line_reads")
+        self._c_mech_hits = stats.counter("mech_hits")
+        self._c_mech_prefetch_reads = stats.counter("mech_prefetch_reads")
         # Exact-type dispatch table: cheaper than an isinstance chain,
         # and the message classes are final by design.
         self._handlers = {
@@ -136,6 +148,10 @@ class PaxDevice:
         """
         pool_addr = self.to_pool(message.addr)
         self._c_mem_wr.add(1)
+        if self.mech is not None:
+            # The write supersedes whatever clean copy a side buffer
+            # holds (there is no RdOwn in .mem mode to catch this at).
+            self.mech.invalidate(pool_addr)
         if self.undo.seq_for(pool_addr) is None:
             old = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
             self.undo.note_modification(pool_addr, old)
@@ -173,7 +189,13 @@ class PaxDevice:
         return total_ns
 
     def _lookup_line(self, pool_addr):
-        """Newest device-visible value: buffer > HBM > PM. Returns (data, ns)."""
+        """Newest device-visible value: buffer > HBM > mech > PM.
+
+        Returns ``(data, ns)``. The mechanism stack sits between the HBM
+        cache and the PM media; a hit there costs HBM latency (on-device
+        SRAM/HBM side buffers), a miss falls through to the media read
+        and feeds the demand fill back to the mechanisms.
+        """
         data = self.writeback.peek(pool_addr)
         if data is not None:
             self._c_buffer_serves.add(1)
@@ -181,9 +203,51 @@ class PaxDevice:
         data = self.hbm.get(pool_addr)
         if data is not None:
             return data, self._lat.media.hbm_ns
+        mech = self.mech
+        if mech is not None:
+            data = mech.probe(pool_addr, self._mech_fetch)
+            if data is not None:
+                self._c_mech_hits.value += 1
+                return data, self._lat.media.hbm_ns
         data = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
         self._c_pm_line_reads.add(1)
+        if mech is not None:
+            mech.on_demand_fill(pool_addr, data, self._mech_fetch)
         return data, self._lat.media.pm_read_ns
+
+    def _mech_fetch(self, pool_addr):
+        """Guarded background PM read for mechanism prefetches.
+
+        Refuses lines outside the pool's data region, lines the host has
+        modified this epoch (their PM copy is the stale pre-image), and
+        lines already mirrored in buffer or HBM (pure pollution). The
+        media latency is hidden — an overlapped background read.
+        """
+        if not self.pool.contains_data(pool_addr, CACHE_LINE_SIZE):
+            return None
+        if self.undo.seq_for(pool_addr) is not None:
+            return None
+        if self.writeback.peek(pool_addr) is not None:
+            return None
+        if self.hbm.peek(pool_addr) is not None:
+            return None
+        data = self.pool.device.read(pool_addr, CACHE_LINE_SIZE)
+        self._c_mech_prefetch_reads.value += 1
+        return data
+
+    def _mech_capture(self, pool_addr, data):
+        """HBM eviction hook: drop clean victims into the side buffers.
+
+        Guarded like :meth:`_mech_fetch`: a victim whose line the host
+        has modified this epoch (or that the write-back buffer holds a
+        newer copy of) would go stale with no invalidation message, so
+        it is dropped instead of captured.
+        """
+        if self.undo.seq_for(pool_addr) is not None:
+            return
+        if self.writeback.peek(pool_addr) is not None:
+            return
+        self.mech.on_evict(pool_addr, data)
 
     def _rd_shared(self, message):
         pool_addr = self.to_pool(message.addr)
@@ -216,8 +280,10 @@ class PaxDevice:
         else:
             data = None
         # The host will hold the only up-to-date copy; our HBM mirror is
-        # about to go stale.
+        # about to go stale — and so is any side-buffer copy.
         self.hbm.invalidate(pool_addr)
+        if self.mech is not None:
+            self.mech.invalidate(pool_addr)
         if data is not None:
             return msg.DataResponse(message.addr, data, "M"), service
         return msg.Go(message.addr, "M"), service
@@ -331,6 +397,8 @@ class PaxDevice:
         self.undo.on_crash()
         self.writeback.on_crash()
         self.hbm.clear()
+        if self.mech is not None:
+            self.mech.clear()
         self.pipeline.on_crash()
         self.stats.counter("crashes").add(1)
 

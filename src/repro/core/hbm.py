@@ -25,6 +25,11 @@ class HbmCache:
     def __init__(self, capacity_lines):
         self.capacity_lines = capacity_lines
         self._lines = OrderedDict()
+        #: Optional ``callback(pool_addr, data)`` fired for every LRU
+        #: victim — the device hangs its miss-path mechanism capture
+        #: here so victims can fall into a side buffer instead of
+        #: vanishing (see repro.cache.mechanisms).
+        self.on_evict = None
         self.stats = StatGroup("hbm")
         # Per-access counters bound once (hot-path-stat-lookup rule).
         self._c_hits = self.stats.counter("hits")
@@ -57,8 +62,10 @@ class HbmCache:
         self._lines[pool_addr] = data
         self._lines.move_to_end(pool_addr)
         if len(self._lines) > self.capacity_lines:
-            self._lines.popitem(last=False)
+            victim_addr, victim_data = self._lines.popitem(last=False)
             self._c_evictions.add(1)
+            if self.on_evict is not None:
+                self.on_evict(victim_addr, victim_data)
 
     def peek(self, pool_addr):
         """Return cached data without touching recency or hit statistics."""

@@ -120,11 +120,14 @@ class _BaseMachine:
     """State shared by both machine shapes."""
 
     def __init__(self, latency=None, num_cores=1, clock=None,
-                 l1_config=None, l2_config=None, llc_config=None):
+                 l1_config=None, l2_config=None, llc_config=None,
+                 mechanisms=None, mech_policy="lru"):
         self.latency = (latency or default_model()).validate()
         self.clock = clock or SimClock()
         self._cache_kwargs = dict(num_cores=num_cores, l1_config=l1_config,
-                                  l2_config=l2_config, llc_config=llc_config)
+                                  l2_config=l2_config, llc_config=llc_config,
+                                  mechanisms=mechanisms,
+                                  mech_policy=mech_policy)
         self.hierarchy = self._fresh_hierarchy()
         self.crashed = False
         #: Optional callable invoked before every CPU store (crash-point
@@ -176,10 +179,12 @@ class PaxMachine(_BaseMachine):
                  backing_path=None, link="cxl", pax_config=None,
                  protocol="cxl.cache", latency=None, num_cores=1, clock=None,
                  l1_config=None, l2_config=None, llc_config=None,
-                 pm_device=None, link_faults=None):
+                 pm_device=None, link_faults=None,
+                 mechanisms=None, mech_policy="lru"):
         super().__init__(latency=latency, num_cores=num_cores, clock=clock,
                          l1_config=l1_config, l2_config=l2_config,
-                         llc_config=llc_config)
+                         llc_config=llc_config, mechanisms=mechanisms,
+                         mech_policy=mech_policy)
         if protocol not in self.PROTOCOLS:
             raise ConfigError("protocol must be one of %r" % (self.PROTOCOLS,))
         self.protocol = protocol
@@ -349,10 +354,12 @@ class HostMachine(_BaseMachine):
 
     def __init__(self, media="dram", heap_size=64 * 1024 * 1024,
                  latency=None, num_cores=1, clock=None, share_bandwidth=True,
-                 l1_config=None, l2_config=None, llc_config=None):
+                 l1_config=None, l2_config=None, llc_config=None,
+                 mechanisms=None, mech_policy="lru"):
         super().__init__(latency=latency, num_cores=num_cores, clock=clock,
                          l1_config=l1_config, l2_config=l2_config,
-                         llc_config=llc_config)
+                         llc_config=llc_config, mechanisms=mechanisms,
+                         mech_policy=mech_policy)
         if media not in self.MEDIA:
             raise ConfigError("media must be one of %r" % (self.MEDIA,))
         self.media = media

@@ -65,6 +65,11 @@ _HOT_PATH_METHODS = {
     "cache/cache.py": frozenset({"lookup", "peek", "insert", "remove"}),
     "cache/replacement.py": frozenset({
         "on_access", "on_insert", "on_remove", "victim"}),
+    # Miss-path mechanisms sit on every LLC/HBM miss; their probe and
+    # maintenance hooks run per simulated access.
+    "cache/mechanisms.py": frozenset({
+        "probe", "probe_and_extend", "on_demand_fill", "on_evict",
+        "invalidate"}),
     "cache/homes.py": frozenset({"acquire", "writeback"}),
     "mem/physical.py": frozenset({"read", "write"}),
     "mem/layout.py": frozenset({"get", "set"}),

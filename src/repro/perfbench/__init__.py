@@ -78,12 +78,42 @@ _HEAP = 8 * 1024 * 1024
 _LOG = 2 * 1024 * 1024
 
 
-def build_backend(name):
-    """Build ``name`` with perfbench-standard sizing."""
+def build_backend(name, llc_config=None, mechanisms=None, mech_policy="lru",
+                  device_mechanisms=None, hbm_lines=None):
+    """Build ``name`` with perfbench-standard sizing.
+
+    The optional overrides are the sweep axes (:mod:`repro.sweep`):
+    ``llc_config`` replaces the BENCH_CACHES LLC, ``mechanisms`` is a
+    miss-path mechanism spec (:mod:`repro.cache.mechanisms`) applied to
+    the host hierarchy, ``mech_policy`` the buffer-internal replacement
+    policy, ``device_mechanisms`` the spec for the PAX device's PM read
+    path, and ``hbm_lines`` shrinks (or grows) the device's HBM cache so
+    that path actually sees PM traffic. The device knobs apply to
+    PAX-family backends only. All default to the historical
+    configuration, so existing callers (and committed baselines) are
+    untouched.
+    """
     kwargs = dict(heap_size=_HEAP, capacity=1 << 12)
     if name in ("pax", "hybrid"):
         kwargs = dict(pool_size=_HEAP, log_size=_LOG, capacity=1 << 12)
+        if device_mechanisms not in (None, "", "none") or hbm_lines is not None:
+            from repro.core.config import PaxConfig
+            config = PaxConfig(mechanism_policy=mech_policy)
+            if device_mechanisms not in (None, "", "none"):
+                config.mechanisms = device_mechanisms
+            if hbm_lines is not None:
+                config.hbm_lines = hbm_lines
+            kwargs["pax_config"] = config
+    elif device_mechanisms not in (None, "", "none"):
+        raise ConfigError(
+            "device mechanisms need a PAX device; backend %r has none"
+            % (name,))
     kwargs.update(BENCH_CACHES)
+    if llc_config is not None:
+        kwargs["llc_config"] = llc_config
+    if mechanisms not in (None, "", "none"):
+        kwargs["mechanisms"] = mechanisms
+        kwargs["mech_policy"] = mech_policy
     return make_backend(name, **kwargs)
 
 
@@ -133,13 +163,25 @@ def _drive(backend, workload, ops, records, seed):
 _TRACE_CACHE = {}
 
 
-def _record_cell_trace(workload, backend_name, ops, records, seed):
-    """Record (or fetch the cached) trace for one cell configuration."""
-    key = (workload, backend_name, ops, records, seed)
+def record_cell_trace(workload, backend_name, ops, records, seed,
+                      mechanisms=None, mech_policy="lru"):
+    """Record (or fetch the cached) trace for one cell configuration.
+
+    The machine-seam event stream depends on structure logic and data
+    values, **not** on cache geometry or miss-path mechanisms — which is
+    what lets :mod:`repro.sweep` record once at the default configuration
+    and replay the same trace across a whole cache-config grid. The
+    mechanism knobs are still part of the cache key because perfbench's
+    own replay engine asserts sim_ns equality against the recording,
+    which only holds when record and replay configs match.
+    """
+    key = (workload, backend_name, ops, records, seed,
+           mechanisms or "none", mech_policy)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         return cached
-    backend = build_backend(backend_name)
+    backend = build_backend(backend_name, mechanisms=mechanisms,
+                            mech_policy=mech_policy)
     timed_sim = []
 
     def drive(live, recorder):
@@ -159,7 +201,12 @@ def _record_cell_trace(workload, backend_name, ops, records, seed):
     return cached
 
 
-def _drive_replay(workload, backend_name, ops, records, seed):
+#: Backwards-compatible private alias (pre-sweep name).
+_record_cell_trace = record_cell_trace
+
+
+def _drive_replay(workload, backend_name, ops, records, seed,
+                  mechanisms=None, mech_policy="lru"):
     """Replay one cell's recorded trace; returns (wall_s, sim_ns).
 
     The trace is recorded (and cached) through the per-access path, so
@@ -167,9 +214,11 @@ def _drive_replay(workload, backend_name, ops, records, seed):
     engine asserts the timed-phase ``sim_ns`` matches the recording —
     every replay cell is a free equivalence check on the clock.
     """
-    trace, expected_sim = _record_cell_trace(
-        workload, backend_name, ops, records, seed)
-    backend = build_backend(backend_name)
+    trace, expected_sim = record_cell_trace(
+        workload, backend_name, ops, records, seed,
+        mechanisms=mechanisms, mech_policy=mech_policy)
+    backend = build_backend(backend_name, mechanisms=mechanisms,
+                            mech_policy=mech_policy)
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
@@ -202,7 +251,7 @@ def attach_tracer(backend, tracer):
 
 
 def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer,
-              engine="access"):
+              engine="access", mechanisms=None, mech_policy="lru"):
     """Measure one cell; returns ``(result dict, last backend)``."""
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
@@ -218,9 +267,11 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer,
     for _attempt in range(repeats):
         if engine == "replay":
             wall_s, cell_sim_ns, backend = _drive_replay(
-                workload, backend_name, ops, records, seed)
+                workload, backend_name, ops, records, seed,
+                mechanisms=mechanisms, mech_policy=mech_policy)
         else:
-            backend = build_backend(backend_name)
+            backend = build_backend(backend_name, mechanisms=mechanisms,
+                                    mech_policy=mech_policy)
             if tracer is not None:
                 attach_tracer(backend, tracer)
             wall_s, cell_sim_ns = _drive(backend, workload, ops, records,
@@ -242,6 +293,9 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer,
         "ops_per_sec": round(ops / best_wall, 1) if best_wall > 0 else 0.0,
         "sim_ns": sim_ns,
     }
+    if mechanisms not in (None, "", "none"):
+        cell["mechanisms"] = mechanisms
+        cell["mech_policy"] = mech_policy
     for counter in CELL_COUNTERS:
         value = getattr(backend, counter, None)
         # bool is an int subclass; exclude it so a stray flag attribute
@@ -252,7 +306,8 @@ def _run_cell(workload, backend_name, ops, records, seed, repeats, tracer,
 
 
 def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
-             seed=DEFAULT_SEED, repeats=1, tracer=None, engine="access"):
+             seed=DEFAULT_SEED, repeats=1, tracer=None, engine="access",
+             mechanisms=None, mech_policy="lru"):
     """Measure one workload x backend cell; returns a result dict.
 
     With ``repeats`` > 1 the cell is rebuilt and rerun that many times and
@@ -270,16 +325,22 @@ def run_cell(workload, backend_name, ops=DEFAULT_OPS, records=DEFAULT_RECORDS,
     Replay cells record the per-access event stream once, then measure
     the trace interpreter; their ``sim_ns`` is checked against the
     recording, so the two engines are directly comparable.
+
+    ``mechanisms``/``mech_policy`` select a miss-path mechanism stack
+    for the host hierarchy (:mod:`repro.cache.mechanisms`); the default
+    (no mechanisms) is the historical configuration.
     """
     cell, _backend = _run_cell(workload, backend_name, ops, records, seed,
-                               repeats, tracer, engine)
+                               repeats, tracer, engine,
+                               mechanisms=mechanisms,
+                               mech_policy=mech_policy)
     return cell
 
 
 def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
                records=DEFAULT_RECORDS, seed=DEFAULT_SEED, repeats=1,
                progress=None, tracer_factory=None, cell_hook=None,
-               engines=("access",)):
+               engines=("access",), mechanisms=None, mech_policy="lru"):
     """Run the full matrix; returns the report dict (see :data:`SCHEMA`).
 
     ``tracer_factory()`` (optional) builds a fresh tracer per cell;
@@ -288,7 +349,10 @@ def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
     trace events and metrics without the report format changing.
 
     ``engines`` extends the matrix with a third axis; the default stays
-    access-only so existing baselines keep their shape.
+    access-only so existing baselines keep their shape. ``mechanisms``
+    (one spec for the whole matrix) applies a host miss-path mechanism
+    stack to every cell; grids over many specs belong to
+    :mod:`repro.sweep`.
     """
     results = []
     for engine in engines:
@@ -298,7 +362,8 @@ def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
                           and engine == "access" else None)
                 cell, backend = _run_cell(workload, backend_name, ops,
                                           records, seed, repeats, tracer,
-                                          engine)
+                                          engine, mechanisms=mechanisms,
+                                          mech_policy=mech_policy)
                 results.append(cell)
                 if progress is not None:
                     progress(cell)
@@ -314,6 +379,7 @@ def run_matrix(workloads=WORKLOADS, backends=BACKENDS, ops=DEFAULT_OPS,
             "workloads": list(workloads),
             "backends": list(backends),
             "engines": list(engines),
+            "mechanisms": mechanisms or "none",
         },
         "results": results,
     }
@@ -339,8 +405,11 @@ def load_report(path):
 def _cell_key(cell):
     """Identity of a cell across reports. Baselines written before the
     engine axis existed (``BENCH_PR3.json``) carry no ``engine`` field;
-    those cells are access cells by construction."""
-    return (cell["workload"], cell["backend"], cell.get("engine", "access"))
+    those cells are access cells by construction. Likewise cells from
+    before the mechanism zoo carry no ``mechanisms`` field and are
+    no-mechanism cells."""
+    return (cell["workload"], cell["backend"], cell.get("engine", "access"),
+            cell.get("mechanisms", "none"))
 
 
 def compare_report(current, baseline, tolerance=0.30):
@@ -371,8 +440,8 @@ def compare_report(current, baseline, tolerance=0.30):
     cells = []
     problems = []
     for cell in current["results"]:
-        workload, backend, engine = _cell_key(cell)
-        base = base_cells.get((workload, backend, engine))
+        workload, backend, engine, _mechanisms = _cell_key(cell)
+        base = base_cells.get(_cell_key(cell))
         if base is None:
             continue
         floor = base["ops_per_sec"] * (1.0 - tolerance)

@@ -45,6 +45,13 @@ def main(argv=None):
     parser.add_argument("--engine", default="access",
                         help="comma-separated engine list: access, replay "
                              "(default %(default)s)")
+    parser.add_argument("--mechanisms", default=None,
+                        help="miss-path mechanism spec applied to every "
+                             "cell's host hierarchy, e.g. victim:32 or "
+                             "stream:4x4+nextline:16 (default: none)")
+    parser.add_argument("--mech-policy", default="lru",
+                        help="replacement policy inside mechanisms that "
+                             "have one (default %(default)s)")
     parser.add_argument("--out", default="BENCH_PR3.json",
                         help="report path (default %(default)s)")
     parser.add_argument("--compare", metavar="BASELINE",
@@ -102,7 +109,9 @@ def main(argv=None):
                             progress=progress,
                             tracer_factory=tracer_factory,
                             cell_hook=cell_hook,
-                            engines=args.engine.split(","))
+                            engines=args.engine.split(","),
+                            mechanisms=args.mechanisms,
+                            mech_policy=args.mech_policy)
     finally:
         if trace_handle is not None:
             trace_handle.close()

@@ -176,6 +176,11 @@ def fast_eligible(backend):
         return False
     if hier.num_cores != 1 or hier.tracer is not None:
         return False
+    # Miss-path mechanisms (repro.cache.mechanisms) change the latency
+    # arithmetic at both caching sites; the fast interpreter models
+    # neither, so any configured stack routes to the generic engine.
+    if hier.mechanisms is not None or machine.device.mech is not None:
+        return False
     if len(hier._homes) != 1 or type(hier._homes[0][2]) is not PaxHome:
         return False
     core = hier._cores[0]

@@ -52,6 +52,13 @@ def build_parser():
     parser.add_argument("--sanitize", action="store_true",
                         help="shadow every shard with PaxSan; findings "
                              "fail the drill")
+    parser.add_argument("--mechanisms", default=None,
+                        help="miss-path mechanism spec for every shard's "
+                             "host hierarchy, e.g. victim:32 or "
+                             "stream:4x4+nextline:16 (default: none)")
+    parser.add_argument("--mech-policy", default="lru",
+                        help="replacement policy inside mechanisms that "
+                             "have one (default %(default)s)")
     parser.add_argument("--trace", metavar="PATH",
                         help="write the drill's repro.obs events as JSONL")
     parser.add_argument("--metrics", metavar="PATH",
@@ -103,7 +110,8 @@ def main(argv=None):
             timeout_ns=args.timeout_ns, batch_max=args.batch_max,
             batch_delay_ns=args.batch_delay_ns, crashes=args.crashes,
             storms=args.storms, recovery_deadline_ns=args.deadline_ns,
-            sanitize=args.sanitize)
+            sanitize=args.sanitize, mechanisms=args.mechanisms,
+            mech_policy=args.mech_policy)
         harness = ServeHarness(config, tracer=tracer)
     except (ConfigError, FaultPlanError) as exc:
         print("serve: bad configuration: %s" % exc, file=sys.stderr)

@@ -99,9 +99,15 @@ class ServeConfig:
     # §3.2 log-growth valve: commit early past this undo-log fullness.
     log_valve_fraction: float = 0.85
     sanitize: bool = False
+    # Miss-path mechanism spec applied to every shard's host hierarchy
+    # (repro.cache.mechanisms); None keeps the historical miss path.
+    mechanisms: str = None
+    mech_policy: str = "lru"
 
     def validate(self):
         """Raise :class:`ConfigError` on nonsensical parameters."""
+        from repro.cache.mechanisms import make_mechanisms
+        make_mechanisms(self.mechanisms, self.mech_policy)
         if self.clients < 1:
             raise ConfigError("a drill needs at least one client")
         if self.shards < 1:
@@ -177,7 +183,10 @@ class ServeHarness:
             link = replace(link, seed=link.seed + index * 1009)
         pool = PaxPool.map_pool(pm_device=device, pool_size=POOL_SIZE,
                                 log_size=LOG_SIZE, clock=self.clock,
-                                link_faults=link, **_small_caches())
+                                link_faults=link,
+                                mechanisms=config.mechanisms,
+                                mech_policy=config.mech_policy,
+                                **_small_caches())
         shard = ShardState(index, pool, self.clock,
                            config.batch_max, config.batch_delay_ns)
         if config.sanitize:
